@@ -1,0 +1,74 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each run flips one mechanism and records the metric it should move:
+commutation exploration (selected delay), composite next-hop metric vs
+random pruning (selected delay), probe-time soft allocation (honoured
+admissions under concurrent batches), and backup selection policy
+(proactive-recovery share under churn).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    AblationConfig,
+    ablate_backup_policy,
+    ablate_commutations,
+    ablate_metric_selection,
+    ablate_soft_allocation,
+)
+
+from conftest import save_table
+
+CFG = AblationConfig(n_ip=400, n_peers=80, n_functions=20, requests=40, budget=32, seed=0)
+
+
+def test_ablation_commutations(benchmark, results_dir):
+    out = benchmark.pedantic(ablate_commutations, args=(CFG,), rounds=1, iterations=1)
+    assert math.isfinite(out["with_commutations"])
+    # exploring exchangeable orders never hurts the selected delay (much)
+    assert out["with_commutations"] <= out["without_commutations"] * 1.05
+    benchmark.extra_info.update(out)
+    save_table(
+        results_dir,
+        "ablation_commutations",
+        "\n".join(f"{k}: {v:.4f}" for k, v in out.items()),
+    )
+
+
+def test_ablation_metric_selection(benchmark, results_dir):
+    out = benchmark.pedantic(ablate_metric_selection, args=(CFG,), rounds=1, iterations=1)
+    # the composite metric should beat random pruning at equal budget
+    assert out["metric_selection"] <= out["random_pruning"] * 1.05
+    benchmark.extra_info.update(out)
+    save_table(
+        results_dir,
+        "ablation_metric_selection",
+        "\n".join(f"{k}: {v:.4f}" for k, v in out.items()),
+    )
+
+
+def test_ablation_soft_allocation(benchmark, results_dir):
+    out = benchmark.pedantic(ablate_soft_allocation, args=(CFG,), rounds=1, iterations=1)
+    # with soft allocation a selected composition never fails its setup;
+    # without it, concurrent selections collide at admission time
+    assert out["soft_allocation_conflicted"] == 0.0
+    assert out["no_soft_allocation_conflicted"] >= out["soft_allocation_conflicted"]
+    benchmark.extra_info.update(out)
+    save_table(
+        results_dir,
+        "ablation_soft_allocation",
+        "\n".join(f"{k}: {v:.4f}" for k, v in out.items()),
+    )
+
+
+def test_ablation_backup_policy(benchmark, results_dir):
+    out = benchmark.pedantic(ablate_backup_policy, args=(CFG,), rounds=1, iterations=1)
+    assert 0.0 <= out["paper_selection_recovered_fraction"] <= 1.0
+    benchmark.extra_info.update(out)
+    save_table(
+        results_dir,
+        "ablation_backup_policy",
+        "\n".join(f"{k}: {v:.4f}" for k, v in out.items()),
+    )

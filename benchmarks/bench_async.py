@@ -1,0 +1,76 @@
+"""Executor-equivalence bench: synchronous vs event-driven BCP.
+
+The sweeps use the synchronous executor for speed; the event-driven one
+adds in-flight loss, soft-state timers and concurrency.  On identical
+static worlds the two must agree — this bench measures both and pins
+the equivalence at benchmark scale (the unit tests pin it on micro
+worlds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.async_bcp import AsyncBCP
+from repro.core.bcp import BCPConfig
+from repro.sim.engine import Simulator
+from repro.workload.generator import RequestConfig
+from repro.workload.scenarios import simulation_testbed
+
+from conftest import save_table
+
+N_REQUESTS = 20
+BUDGET = 24
+
+
+def _scenario(seed=0):
+    return simulation_testbed(
+        n_ip=300,
+        n_peers=60,
+        n_functions=15,
+        request_config=RequestConfig(function_count=(3, 3)),
+        bcp_config=BCPConfig(budget=BUDGET, collect_timeout=3.0),
+        seed=seed,
+    )
+
+
+def _run_sync():
+    scenario = _scenario()
+    outcomes = []
+    for _ in range(N_REQUESTS):
+        result = scenario.net.compose(scenario.requests.next_request(), budget=BUDGET)
+        outcomes.append(
+            (result.success,
+             round(result.best_qos.get("delay"), 9) if result.best_qos else None)
+        )
+    return outcomes
+
+
+def _run_async():
+    scenario = _scenario()
+    sim = Simulator()
+    abcp = AsyncBCP(sim, scenario.net.bcp)
+    results = []
+    for _ in range(N_REQUESTS):
+        req = scenario.requests.next_request()
+        abcp.compose(req, budget=BUDGET, confirm=False, callback=results.append)
+        sim.run()  # drain before the next request: identical world state
+    return [
+        (r.success, round(r.best_qos.get("delay"), 9) if r.best_qos else None)
+        for r in results
+    ]
+
+
+def test_async_equivalence_benchmark(benchmark, results_dir):
+    sync_outcomes = _run_sync()
+    async_outcomes = benchmark.pedantic(_run_async, rounds=1, iterations=1)
+    assert len(async_outcomes) == N_REQUESTS
+    agreement = sum(a == b for a, b in zip(sync_outcomes, async_outcomes))
+    # identical worlds, identical per-hop logic: the executors must agree
+    assert agreement == N_REQUESTS
+    successes = sum(1 for ok, _ in sync_outcomes if ok)
+    save_table(
+        results_dir,
+        "async_equivalence",
+        f"requests: {N_REQUESTS}; successes: {successes}; "
+        f"sync/async agreement: {agreement}/{N_REQUESTS}",
+    )

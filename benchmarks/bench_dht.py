@@ -1,0 +1,57 @@
+"""DHT bench: Pastry routing hop count grows logarithmically with ring size.
+
+Pastry's core property — O(log_{2^b} N) routing — is what keeps service
+discovery cheap at the paper's 1000-peer scale.  We measure mean hops at
+growing ring sizes and check the growth is logarithmic, not linear.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dht.id_space import key_for
+from repro.dht.pastry import PastryNetwork
+from repro.topology.overlay import wan_overlay
+
+from conftest import save_table
+
+SIZES = (25, 50, 100, 200)
+LOOKUPS = 150
+
+
+def _mean_hops(n_peers: int, seed: int = 0) -> float:
+    overlay = wan_overlay(n_peers, rng=np.random.default_rng(seed))
+    dht = PastryNetwork(overlay, rng=np.random.default_rng(seed + 1))
+    dht.build()
+    rng = np.random.default_rng(seed + 2)
+    hops = []
+    for i in range(LOOKUPS):
+        key = key_for(f"service-{i}")
+        origin = int(rng.integers(0, n_peers))
+        hops.append(dht.route(key, origin_peer=origin).hop_count)
+    return float(np.mean(hops))
+
+
+@pytest.fixture(scope="module")
+def hop_curve():
+    return {n: _mean_hops(n) for n in SIZES}
+
+
+def test_dht_hop_scaling_benchmark(benchmark, hop_curve, results_dir):
+    benchmark.pedantic(_mean_hops, args=(SIZES[0], 3), rounds=1, iterations=1)
+
+    # hop counts grow, but far slower than the ring (log, not linear):
+    # ring grows 8x, hops must grow by less than 3x and stay near
+    # log16(N) + a small constant
+    assert hop_curve[SIZES[-1]] <= 3.0 * max(hop_curve[SIZES[0]], 0.5)
+    for n in SIZES:
+        assert hop_curve[n] <= math.log(n, 16) + 2.5
+    # routing does take multiple hops at scale (it is not a lookup table)
+    assert hop_curve[SIZES[-1]] >= 1.0
+
+    lines = [f"{'peers':>6s}  {'mean hops':>9s}  {'log16(N)':>8s}"]
+    for n in SIZES:
+        lines.append(f"{n:>6d}  {hop_curve[n]:>9.2f}  {math.log(n, 16):>8.2f}")
+    benchmark.extra_info["hops"] = hop_curve
+    save_table(results_dir, "dht_hop_scaling", "\n".join(lines))

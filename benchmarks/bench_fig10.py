@@ -1,0 +1,42 @@
+"""Figure 10 bench: session setup time vs function number (WAN testbed).
+
+Paper (§6.2): 102 PlanetLab hosts, six media functions, >500 requests;
+setup time (discovery + composition + init) is a few seconds and grows
+with the function count.
+
+Bench scale: the full 102 peers (the experiment is cheap), 60 requests
+per point.
+"""
+
+import pytest
+
+from repro.experiments import Fig10Config, run_fig10
+
+from conftest import save_table
+
+CFG = Fig10Config(n_peers=102, function_numbers=(2, 3, 4, 5, 6), requests_per_point=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig10_result():
+    return run_fig10(CFG)
+
+
+def test_fig10_benchmark(benchmark, fig10_result, results_dir):
+    from repro.experiments.fig10_setup_time import run_fig10 as run
+
+    small = Fig10Config(n_peers=40, function_numbers=(3,), requests_per_point=10, seed=1)
+    benchmark.pedantic(run, args=(small,), rounds=1, iterations=1)
+
+    result = fig10_result
+    disc, comp, total = result.series
+    # monotone-ish growth with function number (allow small noise)
+    assert total.y[-1] > total.y[0]
+    assert all(t > 0 for t in total.y)
+    # setup completes within a few seconds (paper: "several seconds")
+    assert max(total.y) < 10_000  # ms
+    # composition dominates discovery at larger function counts
+    assert comp.y[-1] > disc.y[-1]
+
+    benchmark.extra_info["series"] = {s.label: list(zip(s.x, s.y)) for s in result.series}
+    save_table(results_dir, "fig10_setup_time", result.table())

@@ -1,0 +1,49 @@
+"""Figure 11 bench: average service delay vs probing budget.
+
+Paper (§6.2): 3-function requests over 102 peers with ~17 duplicates per
+function (optimal ≈ 17³ = 4913 probes).  SpiderNet's delay falls with
+budget, approaching the optimal asymptotically; near-optimal by roughly
+budget 200 (4 % of the flooding cost); random stays far above.
+"""
+
+import pytest
+
+from repro.experiments import Fig11Config, run_fig11
+
+from conftest import save_table
+
+CFG = Fig11Config(
+    n_peers=102,
+    budgets=(10, 50, 100, 200, 300, 400, 500, 1000),
+    requests_per_point=20,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def fig11_result():
+    return run_fig11(CFG)
+
+
+def test_fig11_benchmark(benchmark, fig11_result, results_dir):
+    small = Fig11Config(n_peers=40, budgets=(10, 100), requests_per_point=5, seed=1)
+    benchmark.pedantic(run_fig11, args=(small,), rounds=1, iterations=1)
+
+    result = fig11_result
+    random_s, spider_s, optimal_s = result.series
+    # monotone improvement with budget (same fixed request sample)
+    assert spider_s.y[-1] <= spider_s.y[0]
+    # ordering: optimal <= SpiderNet <= random at the largest budget
+    assert optimal_s.y[-1] <= spider_s.y[-1] + 1e-9
+    assert spider_s.y[-1] <= random_s.y[-1]
+    # near-optimal at budget 200 (within 15 % of optimal), i.e. at ~4 %
+    # of the flooding probe count, as the paper reports
+    idx_200 = list(spider_s.x).index(200)
+    assert spider_s.y[idx_200] <= optimal_s.y[idx_200] * 1.15
+    # the flooding denominator is in the paper's ballpark
+    assert 2000 <= result.optimal_probes_mean <= 12_000  # paper: 4913
+
+    benchmark.extra_info["series"] = {s.label: list(zip(s.x, s.y)) for s in result.series}
+    benchmark.extra_info["optimal_probes_mean"] = result.optimal_probes_mean
+    extra = f"mean optimal probe count: {result.optimal_probes_mean:.0f} (paper: 4913)\n\n"
+    save_table(results_dir, "fig11_budget_sweep", extra + result.table())

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the hot paths (true pytest-benchmark timing).
+
+These are the operations the large sweeps spend their time in; tracking
+them catches performance regressions independently of experiment noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bcp import BCPConfig
+from repro.core.cost import psi_cost
+from repro.dht.id_space import key_for
+from repro.topology.inet import generate_ip_network
+from repro.topology.overlay import mesh_overlay
+from repro.workload.generator import RequestConfig
+from repro.workload.scenarios import simulation_testbed
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return simulation_testbed(
+        n_ip=300,
+        n_peers=60,
+        n_functions=15,
+        request_config=RequestConfig(function_count=(3, 3)),
+        bcp_config=BCPConfig(budget=32),
+        seed=0,
+    )
+
+
+def test_bcp_compose_throughput(benchmark, scenario):
+    """One full BCP composition (probe + merge + select + release)."""
+    requests = iter(scenario.requests.batch(4000))
+
+    def compose_one():
+        scenario.net.compose(next(requests), budget=32)
+
+    benchmark(compose_one)
+
+
+def test_dht_route(benchmark, scenario):
+    keys = [key_for(f"fn-{i}") for i in range(64)]
+    idx = iter(range(10**9))
+
+    def route_one():
+        i = next(idx)
+        scenario.net.dht.route(keys[i % 64], origin_peer=i % 60)
+
+    benchmark(route_one)
+
+
+def test_registry_lookup(benchmark, scenario):
+    fns = scenario.net.registry.functions()
+    idx = iter(range(10**9))
+
+    def lookup_one():
+        i = next(idx)
+        scenario.net.registry.lookup(fns[i % len(fns)], origin_peer=i % 60)
+
+    benchmark(lookup_one)
+
+
+def test_psi_cost_evaluation(benchmark, scenario):
+    result = None
+    for _ in range(20):
+        result = scenario.net.compose(scenario.requests.next_request(), budget=32)
+        if result.success:
+            break
+    assert result is not None and result.success
+    graph = result.best
+
+    benchmark(psi_cost, graph, scenario.net.pool)
+
+
+def test_ip_network_generation(benchmark):
+    seeds = iter(range(10**9))
+
+    def gen():
+        generate_ip_network(300, rng=np.random.default_rng(next(seeds)))
+
+    benchmark(gen)
+
+
+def test_overlay_construction(benchmark):
+    ip = generate_ip_network(300, rng=np.random.default_rng(0))
+    seeds = iter(range(10**9))
+
+    def build():
+        mesh_overlay(ip, 50, k=4, rng=np.random.default_rng(next(seeds)))
+
+    benchmark(build)
+
+
+def test_session_establish_teardown(benchmark, scenario):
+    requests = iter(scenario.requests.batch(4000))
+
+    def cycle():
+        session = scenario.net.sessions.establish(next(requests))
+        if session is not None:
+            scenario.net.sessions.teardown(session.session_id)
+
+    benchmark(cycle)

@@ -1,0 +1,40 @@
+"""§6.1 overhead bench: BCP vs centralized global-state maintenance.
+
+Paper: "Compared to the global-view-based centralized scheme, SpiderNet
+can achieve similar performance but with more than one order of
+magnitude less overhead."  We count every protocol message on both sides
+of an identical workload and report the ratio.
+"""
+
+import pytest
+
+from repro.experiments import OverheadConfig, run_overhead
+
+from conftest import save_table
+
+CFG = OverheadConfig(
+    n_ip=500, n_peers=100, n_functions=25, duration=20, workload=3, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def overhead_result():
+    return run_overhead(CFG)
+
+
+def test_overhead_benchmark(benchmark, overhead_result, results_dir):
+    small = OverheadConfig(
+        n_ip=150, n_peers=30, n_functions=10, duration=5, workload=2, seed=1
+    )
+    benchmark.pedantic(run_overhead, args=(small,), rounds=1, iterations=1)
+
+    result = overhead_result
+    # the headline claim: more than one order of magnitude
+    assert result.overhead_ratio > 10.0
+    # "similar performance": success ratios within 10 points
+    assert abs(result.bcp_success - result.centralized_success) <= 0.10
+
+    benchmark.extra_info["overhead_ratio"] = result.overhead_ratio
+    benchmark.extra_info["bcp_success"] = result.bcp_success
+    benchmark.extra_info["centralized_success"] = result.centralized_success
+    save_table(results_dir, "overhead_comparison", result.table())

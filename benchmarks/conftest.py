@@ -1,0 +1,29 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_fig*.py`` regenerates one figure/table of the paper at a
+benchmark-friendly scale, asserts the paper's qualitative shape, stores
+the series in ``benchmark.extra_info`` and writes the printable table to
+``benchmarks/results/``.  Paper-scale parameters are documented in each
+config docstring; EXPERIMENTS.md records full-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Secure composition with decentralized trust (the paper's §8 extension).
+
+A quarter of the overlay's peers are malicious: their components are
+function-qualified and advertise normal QoS, but they sabotage sessions
+at runtime.  This example
+
+1. declares a composite request in the QoSTalk-style XML format
+   (`repro.spec`) and compiles it,
+2. runs repeated sessions while the requester rates every service peer
+   it used (beta reputation, shared via one-level recommendations),
+3. shows the clean-session rate climbing as the trust-aware next-hop
+   metric learns to route around the saboteurs.
+
+Run:  python examples/secure_composition.py
+"""
+
+import numpy as np
+
+from repro.core.bcp import BCPConfig, NextHopWeights
+from repro.experiments.plotting import sparkline
+from repro.spec import parse_xml
+from repro.trust import MaliciousPopulation, TrustManager
+from repro.workload.generator import RequestConfig
+from repro.workload.scenarios import simulation_testbed
+
+SEED = 13
+MALICIOUS_FRACTION = 0.25
+SESSIONS = 150
+BATCH = 25
+
+REQUEST_XML = """
+<composite-request name="secure-news-stream">
+  <function name="F001"/>
+  <function name="F002"/>
+  <function name="F003"/>
+  <edge from="F001" to="F002"/>
+  <edge from="F002" to="F003"/>
+  <qos delay-ms="2500" loss-rate="0.10"/>
+  <stream bandwidth-mbps="0.8" source="0" dest="1" duration-s="600"/>
+</composite-request>
+"""
+
+
+def main() -> None:
+    scenario = simulation_testbed(
+        n_ip=400,
+        n_peers=80,
+        n_functions=10,
+        request_config=RequestConfig(function_count=(3, 3), qos_tightness=2.0),
+        bcp_config=BCPConfig(
+            budget=24,
+            nexthop_weights=NextHopWeights(delay=0.2, bandwidth=0.15, failure=0.15, trust=0.5),
+        ),
+        seed=SEED,
+    )
+    net = scenario.net
+    rng = np.random.default_rng(SEED)
+
+    spec = parse_xml(REQUEST_XML)
+    print(f"parsed spec {spec.name!r}: {spec.function_graph}")
+    print(f"delay bound {spec.qos.bounds['delay']*1000:.0f} ms")
+
+    malice = MaliciousPopulation.random(
+        net.overlay.peers(), MALICIOUS_FRACTION, rng=rng, protected={0, 1}
+    )
+    print(f"\n{len(malice.malicious)} of {net.overlay.n_peers} peers are malicious "
+          f"(sabotage probability {malice.sabotage_probability:.0%})")
+
+    trust = TrustManager(ledger=net.ledger)
+    net.bcp.trust = trust
+
+    rates = []
+    clean = seen = 0
+    for i in range(SESSIONS):
+        request = spec.compile() if i == 0 else scenario.requests.next_request(
+            source=0, dest=1, n_functions=3
+        )
+        result = net.compose(request, budget=24, confirm=False)
+        if result.success and result.best is not None:
+            service_peers = [m.peer for m in result.best.components()]
+            ok = malice.session_outcome(service_peers, rng)
+            trust.session_feedback(0, service_peers, ok)
+            seen += 1
+            clean += int(ok)
+        if (i + 1) % BATCH == 0:
+            rates.append(clean / max(seen, 1))
+            clean = seen = 0
+
+    print("\nclean-session rate per batch of "
+          f"{BATCH} sessions: {['%.2f' % r for r in rates]}")
+    print(f"learning curve: {sparkline(rates)}")
+    print("the requester learned to avoid the saboteurs from outcomes alone")
+    print("(a single requester needs no recommendations — its own beta")
+    print(" estimates suffice; multi-requester gossip is exercised in")
+    print(" repro/experiments/trust_extension.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Run every experiment at its default (paper-shaped) scale and save results.
+
+Output lands in ``experiment_results/``; EXPERIMENTS.md records these
+numbers next to the paper's.  Expect a few minutes of runtime.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.experiments import (
+    AblationConfig,
+    run_trust_extension,
+    ablate_backup_policy,
+    ablate_commutations,
+    ablate_metric_selection,
+    ablate_soft_allocation,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_overhead,
+)
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "experiment_results"
+OUT.mkdir(exist_ok=True)
+
+
+def save(name: str, text: str) -> None:
+    (OUT / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}", flush=True)
+
+
+def main() -> None:
+    t0 = time.time()
+
+    print("[fig8] success ratio vs workload ...", flush=True)
+    fig8 = run_fig8(verbose=True)
+    save(
+        "fig8_success_ratio",
+        fig8.table()
+        + "\n\nmean messages/request: "
+        + json.dumps({k: round(v, 1) for k, v in fig8.messages_per_request.items()}),
+    )
+
+    print("[fig9] failure recovery under churn ...", flush=True)
+    fig9 = run_fig9(verbose=True)
+    save(
+        "fig9_failure_recovery",
+        f"mean backups/session: {fig9.mean_backups:.2f} (paper: 2.74)\n"
+        f"recovered fraction: {fig9.recovered_fraction:.3f}\n"
+        f"user-visible failures: without={sum(fig9.series[0].y):.0f}, "
+        f"with={sum(fig9.series[1].y):.0f}\n\n" + fig9.table(),
+    )
+
+    print("[fig10] session setup time ...", flush=True)
+    fig10 = run_fig10(verbose=True)
+    save("fig10_setup_time", fig10.table())
+
+    print("[fig11] budget sweep ...", flush=True)
+    fig11 = run_fig11(verbose=True)
+    save(
+        "fig11_budget_sweep",
+        f"mean optimal probe count: {fig11.optimal_probes_mean:.0f} (paper: 4913)\n\n"
+        + fig11.table(),
+    )
+
+    print("[overhead] vs centralized ...", flush=True)
+    overhead = run_overhead(verbose=True)
+    save(
+        "overhead_comparison",
+        overhead.table()
+        + "\n\nSpiderNet breakdown: "
+        + json.dumps(overhead.bcp_breakdown)
+        + "\ncentralized breakdown: "
+        + json.dumps(overhead.centralized_breakdown),
+    )
+
+    print("[trust extension] ...", flush=True)
+    trust = run_trust_extension(verbose=True)
+    save(
+        "trust_extension",
+        f"final clean rate: trust-aware {trust.final_clean_rate_with:.3f} vs "
+        f"baseline {trust.final_clean_rate_without:.3f}\n\n" + trust.table(),
+    )
+
+    print("[ablations] ...", flush=True)
+    cfg = AblationConfig()
+    abl = {}
+    abl.update(ablate_commutations(cfg))
+    abl.update(ablate_metric_selection(cfg))
+    abl.update(ablate_soft_allocation(cfg))
+    abl.update(ablate_backup_policy(cfg))
+    save("ablations", "\n".join(f"{k}: {v:.4f}" for k, v in abl.items()))
+
+    print(f"\nall experiments done in {time.time() - t0:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""SpiderNet: an integrated peer-to-peer service composition framework.
+
+A from-scratch Python reproduction of Gu, Nahrstedt & Yu, *SpiderNet: An
+Integrated Peer-to-Peer Service Composition Framework*, HPDC 2004.
+
+Public API highlights
+---------------------
+* :class:`repro.core.SpiderNet` — one call builds the whole middleware
+  stack (overlay, DHT, discovery, resources, BCP, sessions).
+* :class:`repro.core.BCP` — the bounded composition probing protocol.
+* :class:`repro.core.SessionManager` — proactive failure recovery.
+* :mod:`repro.topology` — Inet-style IP layer + overlay construction.
+* :mod:`repro.dht` — Pastry.
+* :mod:`repro.workload` — populations and request streams.
+* :mod:`repro.experiments` — drivers reproducing Figures 8–11.
+"""
+
+from . import core, dht, discovery, services, sim, spec, topology, trust, workload
+from .core import (
+    BCP,
+    BCPConfig,
+    CompositeRequest,
+    CompositionResult,
+    FunctionGraph,
+    QoSRequirement,
+    QoSVector,
+    RecoveryConfig,
+    ResourcePool,
+    ResourceVector,
+    ServiceGraph,
+    SessionManager,
+    SpiderNet,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCP",
+    "BCPConfig",
+    "CompositeRequest",
+    "CompositionResult",
+    "FunctionGraph",
+    "QoSRequirement",
+    "QoSVector",
+    "RecoveryConfig",
+    "ResourcePool",
+    "ResourceVector",
+    "ServiceGraph",
+    "SessionManager",
+    "SpiderNet",
+    "__version__",
+    "core",
+    "dht",
+    "discovery",
+    "services",
+    "sim",
+    "spec",
+    "topology",
+    "trust",
+    "workload",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Regenerates the paper's evaluation from the shell::
+
+    python -m repro fig8               # success ratio vs workload
+    python -m repro fig9 --quick       # failure recovery (reduced scale)
+    python -m repro fig10
+    python -m repro fig11 --plot       # with a terminal chart
+    python -m repro overhead
+    python -m repro trust
+    python -m repro all --quick
+
+``--quick`` shrinks every experiment to smoke-test scale (seconds);
+``--seed`` re-rolls the randomness; ``--plot`` adds Unicode charts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    Fig8Config,
+    Fig9Config,
+    Fig10Config,
+    Fig11Config,
+    OverheadConfig,
+    TrustConfig,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_overhead,
+    run_trust_extension,
+)
+from .experiments.plotting import ascii_chart
+
+__all__ = ["main"]
+
+_QUICK = {
+    "fig8": Fig8Config(
+        n_ip=200, n_peers=40, n_functions=12, workloads=(2, 4, 6),
+        duration=10, probing_fractions=(0.2,), max_budget=60,
+    ),
+    "fig9": Fig9Config(
+        n_ip=200, n_peers=40, n_functions=12, duration_minutes=15, target_sessions=10
+    ),
+    "fig10": Fig10Config(n_peers=40, requests_per_point=15),
+    "fig11": Fig11Config(n_peers=40, budgets=(10, 100, 500), requests_per_point=8),
+    "overhead": OverheadConfig(n_ip=200, n_peers=40, n_functions=12, duration=8, workload=2),
+    "trust": TrustConfig(n_ip=200, n_peers=40, n_functions=8, sessions=120, batch=30),
+}
+
+_FULL = {
+    "fig8": Fig8Config(),
+    "fig9": Fig9Config(),
+    "fig10": Fig10Config(),
+    "fig11": Fig11Config(),
+    "overhead": OverheadConfig(),
+    "trust": TrustConfig(),
+}
+
+_RUNNERS = {
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "overhead": run_overhead,
+    "trust": run_trust_extension,
+}
+
+_Y_LABELS = {
+    "fig8": "success ratio",
+    "fig9": "failures/min",
+    "fig10": "ms",
+    "fig11": "ms",
+    "trust": "clean rate",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpiderNet (HPDC 2004) reproduction — experiment runner",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_RUNNERS) + ["all"],
+        help="which paper result to regenerate",
+    )
+    parser.add_argument("--quick", action="store_true", help="smoke-test scale")
+    parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    parser.add_argument("--plot", action="store_true", help="render terminal charts")
+    return parser
+
+
+def _config_for(name: str, quick: bool, seed: Optional[int]):
+    cfg = (_QUICK if quick else _FULL)[name]
+    if seed is not None:
+        cfg = dataclasses.replace(cfg, seed=seed)
+    return cfg
+
+
+def _run_one(name: str, quick: bool, seed: Optional[int], plot: bool) -> None:
+    print(f"=== {name} {'(quick)' if quick else ''} ===", flush=True)
+    cfg = _config_for(name, quick, seed)
+    result = _RUNNERS[name](cfg, verbose=True)
+    if hasattr(result, "table"):
+        print()
+        print(result.table())
+    if plot and hasattr(result, "series"):
+        print()
+        print(ascii_chart(result.series, y_label=_Y_LABELS.get(name, "y")))
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, args.quick, args.seed, args.plot)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,395 @@
+"""Event-driven execution of the BCP protocol (simulated mode).
+
+:class:`~repro.core.bcp.BCP` executes probing synchronously in
+elapsed-time order — ideal for large parameter sweeps.  This module runs
+the *same per-hop logic* as actual simulator events, which adds the
+dynamics the synchronous mode abstracts away:
+
+* probes are in flight for real virtual time: peers can **die mid-probe**
+  and the probe is silently lost, exactly like a dropped message;
+* **soft resource allocations expire** on a timer unless the setup ack
+  confirms them (§4.1 Step 2.1: "the resource allocation is soft since
+  it will be cancelled after certain timeout period if the peer does not
+  receive a confirmation message");
+* the destination's **collection window** is a real timer: whatever has
+  arrived when it fires is what selection sees;
+* the **ack pass** travels the reverse service graph hop by hop and can
+  find a reservation already expired or a peer already gone — in which
+  case session setup fails even though selection succeeded;
+* multiple requests **interleave**, contending for resources through
+  their soft reservations — the situation soft allocation exists for.
+
+The two modes share all per-hop decision logic (component filtering,
+composite next-hop metric, budget splitting, QoS accumulation) via the
+wrapped :class:`BCP` instance, so there is exactly one implementation of
+the paper's Steps 2.1–2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..sim.engine import EventHandle, Simulator
+from .bcp import BCP, CompositionResult, DEST_ID, SOURCE_ID
+from .probe import Probe
+from .quota import split_budget
+from .request import CompositeRequest
+from .selection import merge_probes, select_composition
+
+__all__ = ["AsyncBCP", "InFlightComposition"]
+
+CompletionCallback = Callable[[CompositionResult], None]
+
+
+@dataclass
+class InFlightComposition:
+    """Book-keeping for one request being composed event-driven."""
+
+    request: CompositeRequest
+    budget: int
+    confirm: bool
+    callback: Optional[CompletionCallback]
+    started_at: float
+    arrivals: Dict[Tuple, Probe] = field(default_factory=dict)
+    tokens: Set[Tuple] = field(default_factory=set)
+    token_timers: Dict[Tuple, EventHandle] = field(default_factory=dict)
+    seen_children: Set[Tuple] = field(default_factory=set)
+    probes_sent: int = 0
+    discovery_time: float = 0.0
+    selection_timer: Optional[EventHandle] = None
+    done: bool = False
+    result: Optional[CompositionResult] = None
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+
+class AsyncBCP:
+    """Runs BCP compositions as simulator events over a shared pool."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bcp: BCP,
+        soft_state_timeout: float = 30.0,
+    ) -> None:
+        if soft_state_timeout <= 0:
+            raise ValueError("soft_state_timeout must be positive")
+        self.sim = sim
+        self.bcp = bcp  # shared per-hop logic + pool/registry/overlay/ledger
+        self.soft_state_timeout = soft_state_timeout
+        self.active: Dict[int, InFlightComposition] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def compose(
+        self,
+        request: CompositeRequest,
+        budget: Optional[int] = None,
+        confirm: bool = True,
+        callback: Optional[CompletionCallback] = None,
+    ) -> InFlightComposition:
+        """Launch a composition; the result arrives via ``callback`` (and
+        on the returned handle) once the collection window + ack pass end."""
+        beta = self.bcp.config.budget if budget is None else budget
+        if beta < 1:
+            raise ValueError(f"probing budget must be >= 1, got {beta}")
+        comp = InFlightComposition(
+            request=request,
+            budget=beta,
+            confirm=confirm,
+            callback=callback,
+            started_at=self.sim.now,
+        )
+        self.active[request.request_id] = comp
+        root = Probe.initial(request, beta)
+        # the source processes the initial probe immediately
+        self.sim.schedule(0.0, self._process_probe, comp, root)
+        # destination stops collecting at the timeout, then selects
+        comp.selection_timer = self.sim.schedule(
+            self.bcp.config.collect_timeout, self._select, comp
+        )
+        return comp
+
+    # ------------------------------------------------------------------
+    # probe plane
+    # ------------------------------------------------------------------
+    def _process_probe(self, comp: InFlightComposition, probe: Probe) -> None:
+        """Per-hop processing at ``probe.current_peer`` (Steps 2.2–2.4)."""
+        if comp.done or not self.bcp.alive(probe.current_peer):
+            return
+        cfg = self.bcp.config
+        if probe.at_sink:
+            self._send_final_hop(comp, probe)
+            return
+        from .bcp import derive_next_functions
+
+        candidates = derive_next_functions(
+            probe.graph, probe.current_function, probe.applied_swaps,
+            cfg.explore_commutations,
+        )
+        if not candidates:
+            return
+        lookups = []
+        max_rtt = 0.0
+        for fn, _, _, _ in candidates:
+            res = self.bcp.registry.lookup(fn, probe.current_peer, now=self.sim.now)
+            lookups.append(res.components)
+            max_rtt = max(max_rtt, res.rtt)
+        if probe.branch == ():
+            comp.discovery_time = max_rtt
+        entries = [
+            (fn, cfg.quota_policy(fn, len(comps)), is_dep)
+            for (fn, _, _, is_dep), comps in zip(candidates, lookups)
+        ]
+        shares = split_budget(probe.budget, entries)
+        # the lookup round-trip delays everything sent from this hop
+        base_delay = max_rtt + cfg.hop_processing_delay
+        for idx, ((fn, graph, applied, _), comps) in enumerate(zip(candidates, lookups)):
+            beta_k = shares.get(idx, 0)
+            if beta_k < 1 or not comps:
+                continue
+            viable = self.bcp._filter_components(probe, comps)
+            if not viable:
+                continue
+            i_k = min(beta_k, entries[idx][1], len(viable))
+            chosen = self.bcp._select_components(probe, viable, i_k)
+            child_budget = max(1, beta_k // max(len(chosen), 1))
+            for comp_meta in chosen:
+                comp.probes_sent += 1
+                self.bcp.ledger.record("bcp_probe", 256)
+                link_delay = self.bcp.overlay.latency(probe.current_peer, comp_meta.peer)
+                self.sim.schedule(
+                    base_delay + link_delay,
+                    self._receive_probe,
+                    comp, probe, fn, comp_meta, graph, applied, child_budget,
+                )
+
+    def _receive_probe(
+        self, comp, parent: Probe, fn, meta, graph, applied, budget: int
+    ) -> None:
+        """Step 2.1 at the receiving peer, in real virtual time."""
+        if comp.done or not self.bcp.alive(meta.peer):
+            return  # peer died while the probe was in flight
+        request = comp.request
+        cfg = self.bcp.config
+        qos = parent.qos + self.bcp._link_qos(parent.current_peer, meta.peer) \
+            + self.bcp._qp_as_qos(meta)
+        if cfg.qos_pruning and request.qos.violation(qos) > 0:
+            return
+        from_id = (
+            parent.last_component().component_id if parent.last_component() else SOURCE_ID
+        )
+        link_token = (request.request_id, "link", from_id, meta.component_id)
+        if not self._reserve_path(comp, link_token, parent.current_peer, meta.peer,
+                                  parent.out_bandwidth):
+            return
+        comp_token = (request.request_id, "comp", meta.component_id)
+        if not self._reserve_peer(comp, comp_token, meta.peer, meta.resources):
+            return
+        child = parent.spawn(
+            fn, meta, graph, applied, qos, budget,
+            elapsed=self.sim.now - comp.started_at,
+        )
+        key = (
+            child.graph.edges,
+            tuple(sorted((f, m.component_id) for f, m in child.assignment.items())),
+            child.branch,
+        )
+        if key in comp.seen_children:
+            return
+        comp.seen_children.add(key)
+        self._process_probe(comp, child)
+
+    def _send_final_hop(self, comp, probe: Probe) -> None:
+        request = comp.request
+        comp.probes_sent += 1
+        self.bcp.ledger.record("bcp_probe", 256)
+        delay = (
+            self.bcp.config.hop_processing_delay
+            + self.bcp.overlay.latency(probe.current_peer, request.dest_peer)
+        )
+        self.sim.schedule(delay, self._arrive, comp, probe)
+
+    def _arrive(self, comp, probe: Probe) -> None:
+        if comp.done or not self.bcp.alive(comp.request.dest_peer):
+            return
+        request = comp.request
+        qos = probe.qos + self.bcp._link_qos(probe.current_peer, request.dest_peer)
+        if self.bcp.config.qos_pruning and request.qos.violation(qos) > 0:
+            return
+        last = probe.last_component()
+        link_token = (request.request_id, "link", last.component_id, DEST_ID)
+        if not self._reserve_path(comp, link_token, probe.current_peer,
+                                  request.dest_peer, probe.out_bandwidth):
+            return
+        arrived = probe.arrived(qos, elapsed=self.sim.now - comp.started_at)
+        key = (
+            arrived.graph.edges,
+            tuple(sorted((f, m.component_id) for f, m in arrived.assignment.items())),
+            arrived.branch,
+        )
+        prev = comp.arrivals.get(key)
+        if prev is None or arrived.elapsed < prev.elapsed:
+            comp.arrivals[key] = arrived
+
+    # ------------------------------------------------------------------
+    # soft-state reservations with expiry
+    # ------------------------------------------------------------------
+    def _reserve_peer(self, comp, token, peer, resources) -> bool:
+        if not self.bcp.config.soft_allocation:
+            return self.bcp.pool.can_host(peer, resources)
+        if self.bcp.pool.has_token(token):
+            return True
+        if not self.bcp.pool.soft_allocate_peer(token, peer, resources):
+            return False
+        self._arm_expiry(comp, token)
+        return True
+
+    def _reserve_path(self, comp, token, src, dst, bandwidth) -> bool:
+        if src == dst:
+            return True
+        if not self.bcp.config.soft_allocation:
+            return self.bcp.pool.can_carry(src, dst, bandwidth)
+        if self.bcp.pool.has_token(token):
+            return True
+        if not self.bcp.pool.soft_allocate_path(token, src, dst, bandwidth):
+            return False
+        self._arm_expiry(comp, token)
+        return True
+
+    def _arm_expiry(self, comp, token) -> None:
+        comp.tokens.add(token)
+        comp.token_timers[token] = self.sim.schedule(
+            self.soft_state_timeout, self._expire_token, comp, token
+        )
+
+    def _expire_token(self, comp, token) -> None:
+        """Soft-state timeout: the reservation evaporates unconfirmed."""
+        if token in comp.tokens:
+            comp.tokens.discard(token)
+            comp.token_timers.pop(token, None)
+            self.bcp.pool.cancel(token)
+
+    def _drop_token(self, comp, token) -> None:
+        timer = comp.token_timers.pop(token, None)
+        if timer is not None:
+            timer.cancel()
+        comp.tokens.discard(token)
+        self.bcp.pool.cancel(token)
+
+    # ------------------------------------------------------------------
+    # selection + ack pass
+    # ------------------------------------------------------------------
+    def _select(self, comp: InFlightComposition) -> None:
+        if comp.done:
+            return
+        cfg = self.bcp.config
+        request = comp.request
+        result = CompositionResult(request=request, success=False)
+        result.probes_sent = comp.probes_sent
+        result.candidates_examined = len(comp.arrivals)
+        result.phases["discovery"] = comp.discovery_time
+        if not comp.arrivals:
+            result.failure_reason = "no probe reached the destination"
+            self.bcp.ledger.record("bcp_failure", 64)
+            self._finish(comp, result)
+            return
+        candidates = merge_probes(
+            request, list(comp.arrivals.values()), self.bcp.overlay,
+            max_patterns=cfg.max_patterns, max_candidates=cfg.max_candidates,
+        )
+        selection = select_composition(
+            candidates, request.qos, self.bcp.pool, cfg.cost_weights,
+            objective=cfg.objective,
+        )
+        result.qualified = selection.qualified
+        if selection.best is None:
+            result.failure_reason = (
+                f"no qualified service graph among {len(candidates)} candidates"
+            )
+            self.bcp.ledger.record("bcp_failure", 64)
+            self._finish(comp, result)
+            return
+        result.best = selection.best.graph
+        result.best_qos = selection.best.qos
+        result.best_cost = selection.best.cost
+        result.phases["composition"] = max(
+            (self.sim.now - comp.started_at) - comp.discovery_time, 0.0
+        )
+        # release every reservation the winning graph does not need; the
+        # ack pass will confirm the kept ones hop by hop
+        keep = self.bcp._tokens_of(result.best, request.request_id)
+        for token in list(comp.tokens):
+            if token not in keep:
+                self._drop_token(comp, token)
+        ack_time = self._ack_duration(result.best)
+        self.bcp.ledger.record(
+            "bcp_ack", 128,
+            sum(max(len(p) - 1, 1) for p in result.best.branch_paths()),
+        )
+        self.sim.schedule(ack_time, self._confirm_setup, comp, result, keep, ack_time)
+
+    def _ack_duration(self, graph) -> float:
+        cfg = self.bcp.config
+        ack = 0.0
+        for peers in graph.branch_paths():
+            t = sum(
+                self.bcp.overlay.latency(u, v)
+                for u, v in zip(peers, peers[1:])
+                if u != v
+            )
+            t += cfg.component_init_delay * (len(peers) - 2)
+            ack = max(ack, t)
+        return ack
+
+    def _confirm_setup(self, comp, result, keep, ack_time) -> None:
+        """The ack arrived everywhere: confirm reservations (if they and
+        their hosts survived) and deliver the result."""
+        request = comp.request
+        graph = result.best
+        alive_ok = all(self.bcp.alive(p) for p in graph.peers())
+        if comp.confirm and self.bcp.config.soft_allocation:
+            tokens_ok = all(
+                token in comp.tokens and self.bcp.pool.has_token(token)
+                for token in keep
+            )
+        else:
+            tokens_ok = True
+        if comp.confirm and self.bcp.config.soft_allocation and (not alive_ok or not tokens_ok):
+            # a reservation expired or a host died before the ack landed:
+            # setup fails, everything is released
+            result.success = False
+            result.best = None
+            result.failure_reason = "setup ack found expired reservation or dead peer"
+            self.bcp.ledger.record("bcp_failure", 64)
+            self._finish(comp, result)
+            return
+        result.phases["setup_ack"] = ack_time
+        result.setup_time = (self.sim.now - comp.started_at)
+        if comp.confirm and self.bcp.config.soft_allocation:
+            for token in keep:
+                timer = comp.token_timers.pop(token, None)
+                if timer is not None:
+                    timer.cancel()
+                self.bcp.pool.confirm(token)
+            comp.tokens -= keep
+            result.session_tokens = sorted(keep)
+        result.success = True
+        self._finish(comp, result)
+
+    def _finish(self, comp: InFlightComposition, result: CompositionResult) -> None:
+        comp.done = True
+        comp.result = result
+        if comp.selection_timer is not None:
+            comp.selection_timer.cancel()
+        # release whatever soft state remains (losers/failures); kept
+        # session tokens were already confirmed and removed from the set
+        for token in list(comp.tokens):
+            self._drop_token(comp, token)
+        self.active.pop(comp.request_id, None)
+        if comp.callback is not None:
+            comp.callback(result)

@@ -1,0 +1,114 @@
+"""Adaptive probing-budget policies (paper §4.1, Step 1).
+
+"The probing budget represents the trade-off between the probing
+overhead and composition optimality. ... we can use larger probing
+budget for the request with (1) higher priority, (2) stricter QoS
+constraints, or (3) more complex function.  We can also adaptively
+adjust the probing budget based on the user feedbacks and historical
+information."
+
+:class:`AdaptiveBudgetPolicy` implements all four signals:
+
+* **priority** — multiplies the budget directly;
+* **complexity** — budget grows with the function count (each extra
+  function multiplies the candidate space by the replication degree, so
+  examining a fixed *fraction* of it needs a growing budget);
+* **strictness** — requests whose QoS bounds sit close to the typical
+  achievable values get extra budget (more candidates must be examined
+  to find one inside a tight region);
+* **feedback** — a windowed controller: when the recent success rate
+  falls below target, the budget multiplier grows; when compositions
+  succeed with plenty of qualified graphs to spare, it shrinks — paying
+  fewer probes for the same outcome.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from .bcp import CompositionResult
+from .request import CompositeRequest
+
+__all__ = ["BudgetPolicyConfig", "AdaptiveBudgetPolicy"]
+
+
+@dataclass(frozen=True)
+class BudgetPolicyConfig:
+    """Tunables of the adaptive budget controller."""
+
+    base: int = 8  # budget for a reference 2-function, priority-1 request
+    min_budget: int = 2
+    max_budget: int = 512
+    complexity_base: float = 2.5  # budget multiplies by this per extra function
+    reference_functions: int = 2
+    strict_delay_bound: float = 0.25  # bounds below this (s) count as "strict"
+    strictness_boost: float = 1.5
+    target_success: float = 0.9
+    surplus_qualified: int = 8  # ">= this many spare graphs" = over-probing
+    window: int = 25  # recent outcomes considered by the controller
+    adjust_step: float = 1.25
+    multiplier_range: Tuple[float, float] = (0.25, 8.0)
+
+    def __post_init__(self) -> None:
+        if self.base < 1 or self.min_budget < 1 or self.max_budget < self.min_budget:
+            raise ValueError("invalid budget bounds")
+        if self.complexity_base < 1.0:
+            raise ValueError("complexity_base must be >= 1")
+        if not 0.0 < self.target_success <= 1.0:
+            raise ValueError("target_success must be in (0, 1]")
+        if self.adjust_step <= 1.0:
+            raise ValueError("adjust_step must exceed 1")
+        lo, hi = self.multiplier_range
+        if not 0 < lo <= 1.0 <= hi:
+            raise ValueError("multiplier_range must bracket 1.0")
+
+
+class AdaptiveBudgetPolicy:
+    """Computes per-request budgets and learns from outcomes."""
+
+    def __init__(self, config: Optional[BudgetPolicyConfig] = None) -> None:
+        self.config = config or BudgetPolicyConfig()
+        self.multiplier = 1.0
+        self._outcomes: Deque[Tuple[bool, int]] = deque(maxlen=self.config.window)
+
+    # ------------------------------------------------------------------
+    def budget_for(self, request: CompositeRequest) -> int:
+        """The probing budget this request should be granted."""
+        cfg = self.config
+        k = len(request.function_graph)
+        complexity = cfg.complexity_base ** max(k - cfg.reference_functions, 0)
+        strictness = 1.0
+        delay_bound = request.qos.bounds.get("delay")
+        if delay_bound is not None and delay_bound < cfg.strict_delay_bound:
+            strictness = cfg.strictness_boost
+        raw = cfg.base * request.priority * complexity * strictness * self.multiplier
+        return int(max(cfg.min_budget, min(round(raw), cfg.max_budget)))
+
+    # ------------------------------------------------------------------
+    def record_outcome(self, result: CompositionResult) -> None:
+        """Feed a composition outcome back into the controller."""
+        cfg = self.config
+        self._outcomes.append((result.success, len(result.qualified)))
+        if len(self._outcomes) < cfg.window:
+            return  # not enough history to act on
+        successes = sum(1 for ok, _ in self._outcomes if ok)
+        rate = successes / len(self._outcomes)
+        lo, hi = cfg.multiplier_range
+        if rate < cfg.target_success:
+            self.multiplier = min(self.multiplier * cfg.adjust_step, hi)
+            self._outcomes.clear()
+            return
+        qualified = [q for ok, q in self._outcomes if ok]
+        mean_qualified = sum(qualified) / len(qualified) if qualified else 0.0
+        if mean_qualified >= cfg.surplus_qualified:
+            self.multiplier = max(self.multiplier / cfg.adjust_step, lo)
+            self._outcomes.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def recent_success_rate(self) -> float:
+        if not self._outcomes:
+            return float("nan")
+        return sum(1 for ok, _ in self._outcomes if ok) / len(self._outcomes)

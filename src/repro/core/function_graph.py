@@ -1,0 +1,260 @@
+"""Function graphs: the abstract half of the composition problem (§2.1).
+
+A composite service request names required service *functions* connected
+by **dependency links** (output of one feeds the next) and **commutation
+links** (the composition order of two adjacent functions may be
+exchanged — e.g. colour filter ↔ image scaling).  Resolving each
+commutation link to a concrete order yields a **composition pattern**;
+the set of patterns is one dimension of the paper's two-dimensional
+mapping problem (Fig. 4).
+
+The graph must be a DAG.  A commutation pair must be *chain-adjacent*
+(edge a→b where b is a's only successor and a is b's only predecessor),
+which is the only configuration where "exchange the order" is
+well-defined — and matches every example in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["FunctionGraph", "FunctionGraphError", "CommutationPair"]
+
+CommutationPair = FrozenSet[str]
+
+
+class FunctionGraphError(ValueError):
+    """Raised for malformed function graphs."""
+
+
+@dataclass(frozen=True)
+class FunctionGraph:
+    """An immutable DAG of function names with commutation annotations."""
+
+    functions: Tuple[str, ...]
+    edges: FrozenSet[Tuple[str, str]]
+    commutations: FrozenSet[CommutationPair] = frozenset()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def linear(
+        cls, functions: Sequence[str], commutations: Iterable[Tuple[str, str]] = ()
+    ) -> "FunctionGraph":
+        """A chain F1 → F2 → ... → Fk."""
+        edges = {(a, b) for a, b in zip(functions, functions[1:])}
+        return cls.from_edges(functions, edges, commutations)
+
+    @classmethod
+    def from_edges(
+        cls,
+        functions: Sequence[str],
+        edges: Iterable[Tuple[str, str]],
+        commutations: Iterable[Tuple[str, str]] = (),
+    ) -> "FunctionGraph":
+        fg = cls(
+            functions=tuple(functions),
+            edges=frozenset((a, b) for a, b in edges),
+            commutations=frozenset(frozenset(p) for p in commutations),
+        )
+        fg.validate()
+        return fg
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def successors(self, f: str) -> Tuple[str, ...]:
+        return tuple(sorted(b for a, b in self.edges if a == f))
+
+    def predecessors(self, f: str) -> Tuple[str, ...]:
+        return tuple(sorted(a for a, b in self.edges if b == f))
+
+    def sources(self) -> Tuple[str, ...]:
+        has_pred = {b for _, b in self.edges}
+        return tuple(f for f in self.functions if f not in has_pred)
+
+    def sinks(self) -> Tuple[str, ...]:
+        has_succ = {a for a, _ in self.edges}
+        return tuple(f for f in self.functions if f not in has_succ)
+
+    def is_linear(self) -> bool:
+        return all(
+            len(self.successors(f)) <= 1 and len(self.predecessors(f)) <= 1
+            for f in self.functions
+        )
+
+    def topological_order(self) -> List[str]:
+        indeg: Dict[str, int] = {f: 0 for f in self.functions}
+        for _, b in self.edges:
+            indeg[b] += 1
+        ready = sorted(f for f, d in indeg.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            f = ready.pop(0)
+            order.append(f)
+            for s in self.successors(f):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+            ready.sort()
+        if len(order) != len(self.functions):
+            raise FunctionGraphError("function graph contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        fnset = set(self.functions)
+        if len(fnset) != len(self.functions):
+            raise FunctionGraphError("duplicate function names")
+        if not self.functions:
+            raise FunctionGraphError("empty function graph")
+        for a, b in self.edges:
+            if a not in fnset or b not in fnset:
+                raise FunctionGraphError(f"edge ({a},{b}) references unknown function")
+            if a == b:
+                raise FunctionGraphError(f"self-loop on {a}")
+        self.topological_order()  # raises on cycle
+        if len(self.functions) > 1:
+            # weak connectivity: every function participates in some edge
+            touched = {x for e in self.edges for x in e}
+            isolated = fnset - touched
+            if isolated:
+                raise FunctionGraphError(f"isolated functions: {sorted(isolated)}")
+        for pair in self.commutations:
+            if len(pair) != 2:
+                raise FunctionGraphError(f"commutation pair must have 2 functions: {pair}")
+            a, b = sorted(pair)
+            if a not in fnset or b not in fnset:
+                raise FunctionGraphError(f"commutation references unknown function: {pair}")
+            if not (self._chain_adjacent(a, b) or self._chain_adjacent(b, a)):
+                raise FunctionGraphError(
+                    f"commutation pair {sorted(pair)} is not chain-adjacent"
+                )
+
+    def _chain_adjacent(self, a: str, b: str) -> bool:
+        """True iff edge a→b exists, b is a's only successor and a b's only pred."""
+        return (
+            (a, b) in self.edges
+            and self.successors(a) == (b,)
+            and self.predecessors(b) == (a,)
+        )
+
+    # ------------------------------------------------------------------
+    # commutation
+    # ------------------------------------------------------------------
+    def commutation_partner(self, f: str) -> Optional[str]:
+        for pair in self.commutations:
+            if f in pair:
+                (other,) = pair - {f}
+                return other
+        return None
+
+    def ordered_pair(self, pair: CommutationPair) -> Optional[Tuple[str, str]]:
+        """The (upstream, downstream) order of a commutation pair, if adjacent."""
+        a, b = sorted(pair)
+        if self._chain_adjacent(a, b):
+            return (a, b)
+        if self._chain_adjacent(b, a):
+            return (b, a)
+        return None
+
+    def swap(self, first: str, second: str) -> "FunctionGraph":
+        """Exchange the order of chain-adjacent ``first → second``.
+
+        ``... → P → first → second → S → ...`` becomes
+        ``... → P → second → first → S → ...``; the commutation link is
+        preserved (the pair could in principle be swapped back).
+        """
+        if not self._chain_adjacent(first, second):
+            raise FunctionGraphError(
+                f"cannot swap {first}->{second}: not chain-adjacent"
+            )
+        new_edges: Set[Tuple[str, str]] = set()
+        for a, b in self.edges:
+            if (a, b) == (first, second):
+                new_edges.add((second, first))
+            elif b == first:  # P -> first  becomes  P -> second
+                new_edges.add((a, second))
+            elif a == second:  # second -> S  becomes  first -> S
+                new_edges.add((first, b))
+            else:
+                new_edges.add((a, b))
+        fg = FunctionGraph(
+            functions=self.functions,
+            edges=frozenset(new_edges),
+            commutations=self.commutations,
+        )
+        fg.validate()
+        return fg
+
+    def composition_patterns(
+        self, max_patterns: Optional[int] = None
+    ) -> List[Tuple[FrozenSet[CommutationPair], "FunctionGraph"]]:
+        """All concrete orders derivable by applying commutation subsets.
+
+        Returns ``[(applied_pairs, pattern_graph), ...]`` starting with the
+        original order (empty set).  Non-adjacent results of earlier swaps
+        are skipped (cannot occur for disjoint pairs, which validation
+        enforces de facto since pairs are chain-adjacent and share no
+        functions with other pairs in well-formed graphs).
+        """
+        patterns: List[Tuple[FrozenSet[CommutationPair], FunctionGraph]] = [
+            (frozenset(), self)
+        ]
+        if max_patterns is not None and max_patterns < 1:
+            raise FunctionGraphError(f"max_patterns must be >= 1, got {max_patterns}")
+        seen: Set[FrozenSet[Tuple[str, str]]] = {self.edges}
+        frontier = [(frozenset(), self)]
+        while frontier:
+            applied, graph = frontier.pop(0)
+            for pair in self.commutations:
+                if max_patterns is not None and len(patterns) >= max_patterns:
+                    return patterns
+                if pair in applied:
+                    continue
+                ordered = graph.ordered_pair(pair)
+                if ordered is None:
+                    continue
+                swapped = graph.swap(*ordered)
+                if swapped.edges in seen:
+                    continue
+                seen.add(swapped.edges)
+                entry = (applied | {pair}, swapped)
+                patterns.append(entry)
+                frontier.append(entry)
+        return patterns
+
+    # ------------------------------------------------------------------
+    # branches
+    # ------------------------------------------------------------------
+    def branches(self) -> List[Tuple[str, ...]]:
+        """All source→sink function paths ("branch paths", §2.2).
+
+        A linear graph has exactly one branch; Fig. 2's example has two
+        (s1→s9→s13 and s1→s7→s13 at the service level).
+        """
+        out: List[Tuple[str, ...]] = []
+
+        def dfs(f: str, path: List[str]) -> None:
+            succ = self.successors(f)
+            if not succ:
+                out.append(tuple(path))
+                return
+            for s in succ:
+                dfs(s, path + [s])
+
+        for src in self.sources():
+            dfs(src, [src])
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __repr__(self) -> str:
+        edges = ", ".join(f"{a}->{b}" for a, b in sorted(self.edges))
+        extra = ""
+        if self.commutations:
+            pairs = ", ".join("~".join(sorted(p)) for p in sorted(self.commutations, key=sorted))
+            extra = f", commute[{pairs}]"
+        return f"FunctionGraph({edges or '|'.join(self.functions)}{extra})"

@@ -1,0 +1,141 @@
+"""Probing budget and per-function probing quotas (paper §4.1 Step 1).
+
+The probing budget β caps how many probes a composition request may use;
+the per-function quota αᵢ caps how many duplicated components are probed
+for function Fᵢ, enabling "differentiated allocation of the probes among
+different functions ... e.g. assign higher probing quota for the function
+with more duplicated service components".
+
+Per-hop budget splitting (Step 2.2/2.3): a probe's budget is distributed
+among next-hop functions proportionally to their quotas; for function Fₖ
+with budget βₖ, quota αₖ and Zₖ duplicates, Iₖ = min(βₖ, αₖ, Zₖ) probes are
+spawned, each with budget ⌊βₖ/Iₖ⌋.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Protocol, Sequence, Tuple
+
+__all__ = [
+    "QuotaPolicy",
+    "UniformQuota",
+    "ReplicationProportionalQuota",
+    "split_budget",
+    "budget_for_fraction",
+]
+
+
+class QuotaPolicy(Protocol):
+    """αₖ as a function of the function name and its duplicate count."""
+
+    def __call__(self, function: str, n_duplicates: int) -> int:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class UniformQuota:
+    """The same quota for every function (the simplest policy)."""
+
+    quota: int = 4
+
+    def __post_init__(self) -> None:
+        if self.quota < 1:
+            raise ValueError(f"quota must be >= 1, got {self.quota}")
+
+    def __call__(self, function: str, n_duplicates: int) -> int:
+        return self.quota
+
+
+@dataclass(frozen=True)
+class ReplicationProportionalQuota:
+    """αₖ grows with the duplicate count: ``clip(ceil(fraction·Zₖ))``.
+
+    This is the paper's suggested differentiation — more duplicates,
+    more probes — bounded below by ``floor_`` and above by ``cap``.
+    The floor defaults to 2 so that (budget permitting) at least two
+    duplicates are examined per function — one unlucky pick (infeasible
+    host, stale state) then cannot sink the whole request.
+    """
+
+    fraction: float = 0.5
+    floor_: int = 2
+    cap: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0,1], got {self.fraction}")
+        if self.floor_ < 1 or self.cap < self.floor_:
+            raise ValueError(f"need 1 <= floor_ <= cap, got {self.floor_}, {self.cap}")
+
+    def __call__(self, function: str, n_duplicates: int) -> int:
+        return int(min(max(math.ceil(self.fraction * n_duplicates), self.floor_), self.cap))
+
+
+def split_budget(
+    budget: int,
+    entries: Sequence[Tuple[str, int, bool]],
+) -> Dict[int, int]:
+    """Distribute ``budget`` over next-hop entries ``(function, quota, is_dependency)``.
+
+    Returns ``{entry_index: budget_share}``.  Shares are proportional to
+    quota; every *dependency* next-hop gets at least one probe when the
+    budget allows (a DAG fan-out needs every mandatory branch probed for
+    any complete service graph to emerge), while commutation alternatives
+    are the first to be starved under tight budgets.
+    """
+    if budget < 0:
+        raise ValueError(f"negative budget: {budget}")
+    if not entries:
+        return {}
+    shares: Dict[int, int] = {i: 0 for i in range(len(entries))}
+    total_quota = sum(max(q, 0) for _, q, _ in entries)
+    if total_quota <= 0 or budget == 0:
+        return shares
+    # ideal proportional shares, floored
+    remaining = budget
+    fractional: List[Tuple[float, int]] = []
+    for i, (_, quota, _) in enumerate(entries):
+        ideal = budget * quota / total_quota
+        base = int(ideal)
+        shares[i] = base
+        remaining -= base
+        fractional.append((ideal - base, i))
+    # hand out the remainder by largest fractional part (stable order)
+    for _, i in sorted(fractional, key=lambda t: (-t[0], t[1])):
+        if remaining <= 0:
+            break
+        shares[i] += 1
+        remaining -= 1
+    # guarantee >= 1 for dependencies: a mandatory branch left unprobed
+    # makes every composition incomplete.  Steal from commutation
+    # alternatives first (down to zero — they are optional), then from
+    # the richest dependencies (down to one).
+    deps = {i for i, (_, _, is_dep) in enumerate(entries) if is_dep}
+    for i in sorted(deps):
+        if shares[i] >= 1:
+            continue
+        donors = sorted(shares, key=lambda j: (j in deps, -shares[j]))
+        for j in donors:
+            if j == i:
+                continue
+            floor = 1 if j in deps else 0
+            if shares[j] > floor:
+                shares[j] -= 1
+                shares[i] += 1
+                break
+    return shares
+
+
+def budget_for_fraction(optimal_probes: int, fraction: float) -> int:
+    """The budget giving a "probing-``fraction``" variant (§6.1).
+
+    The paper's "probing-0.2"/"probing-0.1" use 20 %/10 % of the probes
+    the optimal (exhaustive flooding) algorithm would send.
+    """
+    if optimal_probes < 0:
+        raise ValueError("optimal_probes must be >= 0")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0,1], got {fraction}")
+    return max(1, int(round(optimal_probes * fraction)))

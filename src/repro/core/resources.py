@@ -1,0 +1,246 @@
+"""End-system resources, link bandwidth, and soft-state allocation.
+
+The paper's resource model: each service component needs a vector ``R``
+of end-system resources (CPU, memory) on its host peer and a bandwidth
+``b_ℓ`` on each service link, admitted against current availability.
+During probing, peers perform **soft resource allocation** (§4.1 Step
+2.1): resources are tentatively reserved so concurrent probes cannot
+doubly admit the same capacity, and the reservation evaporates after a
+timeout unless confirmed by the session-setup ack.
+
+:class:`ResourcePool` is the single authority for both peer resources and
+overlay-link bandwidth.  Allocations are grouped under a *token* (a probe
+id or session id) so a whole probed path can be confirmed or cancelled
+atomically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from ..topology.overlay import Overlay
+
+__all__ = ["ResourceVector", "InsufficientResources", "ResourcePool", "DEFAULT_RESOURCE_TYPES"]
+
+DEFAULT_RESOURCE_TYPES: Tuple[str, ...] = ("cpu", "memory")
+
+Link = Tuple[int, int]  # canonically ordered overlay edge
+
+
+class InsufficientResources(RuntimeError):
+    """Raised when a firm allocation is attempted beyond availability."""
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Non-negative requirements/capacities over named end-system resources."""
+
+    values: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+        for k, v in self.values.items():
+            if v < 0 or math.isnan(v):
+                raise ValueError(f"resource {k!r} must be >= 0, got {v}")
+
+    @classmethod
+    def zero(cls, types: Iterable[str] = DEFAULT_RESOURCE_TYPES) -> "ResourceVector":
+        return cls({t: 0.0 for t in types})
+
+    def get(self, rtype: str) -> float:
+        return self.values.get(rtype, 0.0)
+
+    def types(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.values))
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        keys = set(self.values) | set(other.values)
+        return ResourceVector(
+            {k: self.values.get(k, 0.0) + other.values.get(k, 0.0) for k in keys}
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        keys = set(self.values) | set(other.values)
+        out = {k: self.values.get(k, 0.0) - other.values.get(k, 0.0) for k in keys}
+        if any(v < -1e-9 for v in out.values()):
+            raise ValueError(f"subtraction would go negative: {out}")
+        return ResourceVector({k: max(v, 0.0) for k, v in out.items()})
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        return all(capacity.get(k) + 1e-12 >= v for k, v in self.values.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.values.items()))
+        return f"ResourceVector({inner})"
+
+
+@dataclass
+class _Claim:
+    """One token's reservations on peers and links."""
+
+    peers: List[Tuple[int, ResourceVector]] = field(default_factory=list)
+    links: List[Tuple[Link, float]] = field(default_factory=list)
+    soft: bool = True
+
+
+class ResourcePool:
+    """Tracks availability of peer resources and overlay link bandwidth.
+
+    Availability seen by admission = capacity − firm − soft.  ``confirm``
+    turns a token's soft claims firm (session established); ``cancel``
+    releases soft claims (probe lost the selection or timed out);
+    ``release`` frees firm claims (session teardown / peer failure).
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        peer_capacity: Mapping[int, ResourceVector],
+        resource_types: Tuple[str, ...] = DEFAULT_RESOURCE_TYPES,
+    ) -> None:
+        self.overlay = overlay
+        self.resource_types = resource_types
+        peers = set(overlay.peers())
+        missing = peers - set(peer_capacity)
+        if missing:
+            raise ValueError(f"no capacity given for peers: {sorted(missing)[:5]}...")
+        self._capacity: Dict[int, ResourceVector] = dict(peer_capacity)
+        self._used: Dict[int, ResourceVector] = {
+            p: ResourceVector.zero(resource_types) for p in peers
+        }
+        self._link_capacity: Dict[Link, float] = {
+            tuple(sorted((u, v))): float(d["bandwidth"])
+            for u, v, d in overlay.graph.edges(data=True)
+        }
+        self._link_used: Dict[Link, float] = {l: 0.0 for l in self._link_capacity}
+        self._claims: Dict[Hashable, _Claim] = {}
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def capacity(self, peer: int) -> ResourceVector:
+        return self._capacity[peer]
+
+    def available(self, peer: int) -> ResourceVector:
+        cap, used = self._capacity[peer], self._used[peer]
+        return ResourceVector(
+            {t: max(cap.get(t) - used.get(t), 0.0) for t in cap.types()}
+        )
+
+    def link_capacity(self, link: Link) -> float:
+        return self._link_capacity[tuple(sorted(link))]
+
+    def link_available(self, link: Link) -> float:
+        l = tuple(sorted(link))
+        return max(self._link_capacity[l] - self._link_used[l], 0.0)
+
+    def path_available_bandwidth(self, src: int, dst: int) -> float:
+        """Bottleneck available bandwidth on the routed overlay path ``℘``."""
+        if src == dst:
+            return math.inf
+        links = self.overlay.router.links(src, dst)
+        if not links:
+            return math.inf
+        return min(self.link_available(l) for l in links)
+
+    def can_host(self, peer: int, req: ResourceVector) -> bool:
+        return req.fits_within(self.available(peer))
+
+    def can_carry(self, src: int, dst: int, bandwidth: float) -> bool:
+        return self.path_available_bandwidth(src, dst) + 1e-12 >= bandwidth
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def soft_allocate_peer(self, token: Hashable, peer: int, req: ResourceVector) -> bool:
+        """Tentatively reserve ``req`` on ``peer``; False if it does not fit."""
+        if not self.can_host(peer, req):
+            return False
+        self._used[peer] = self._used[peer] + req
+        self._claims.setdefault(token, _Claim()).peers.append((peer, req))
+        return True
+
+    def soft_allocate_path(
+        self, token: Hashable, src: int, dst: int, bandwidth: float
+    ) -> bool:
+        """Tentatively reserve bandwidth on every link of the overlay path."""
+        if src == dst or bandwidth <= 0:
+            return True
+        links = self.overlay.router.links(src, dst)
+        if any(self.link_available(l) + 1e-12 < bandwidth for l in links):
+            return False
+        claim = self._claims.setdefault(token, _Claim())
+        for l in links:
+            self._link_used[l] += bandwidth
+            claim.links.append((l, bandwidth))
+        return True
+
+    def confirm(self, token: Hashable) -> None:
+        """Make a token's soft reservations firm (session admitted)."""
+        claim = self._claims.get(token)
+        if claim is None:
+            raise KeyError(f"unknown allocation token {token!r}")
+        claim.soft = False
+
+    def cancel(self, token: Hashable) -> None:
+        """Drop a soft reservation (timeout / not selected).  Idempotent."""
+        claim = self._claims.pop(token, None)
+        if claim is None:
+            return
+        if not claim.soft:
+            # firm claims must be released explicitly; put it back
+            self._claims[token] = claim
+            raise InsufficientResources(f"token {token!r} is firm; use release()")
+        self._free(claim)
+
+    def release(self, token: Hashable) -> None:
+        """Free a firm reservation (session ended).  Idempotent."""
+        claim = self._claims.pop(token, None)
+        if claim is None:
+            return
+        self._free(claim)
+
+    def transfer(self, old_token: Hashable, new_token: Hashable) -> None:
+        """Re-key a claim (probe token becomes session token on setup)."""
+        if old_token not in self._claims:
+            raise KeyError(f"unknown allocation token {old_token!r}")
+        if new_token in self._claims:
+            raise KeyError(f"token {new_token!r} already exists")
+        self._claims[new_token] = self._claims.pop(old_token)
+
+    def _free(self, claim: _Claim) -> None:
+        for peer, req in claim.peers:
+            self._used[peer] = self._used[peer] - req
+        for link, bw in claim.links:
+            self._link_used[link] = max(self._link_used[link] - bw, 0.0)
+
+    # ------------------------------------------------------------------
+    # introspection / invariants
+    # ------------------------------------------------------------------
+    def active_tokens(self) -> List[Hashable]:
+        return list(self._claims)
+
+    def has_token(self, token: Hashable) -> bool:
+        return token in self._claims
+
+    def utilisation(self, peer: int, rtype: str) -> float:
+        cap = self._capacity[peer].get(rtype)
+        return self._used[peer].get(rtype) / cap if cap > 0 else 0.0
+
+    def check_invariants(self) -> None:
+        """Assert no over-allocation anywhere (used by property tests)."""
+        for p, cap in self._capacity.items():
+            used = self._used[p]
+            for t in cap.types():
+                if used.get(t) > cap.get(t) + 1e-6:
+                    raise AssertionError(
+                        f"peer {p} over-allocated {t}: {used.get(t)} > {cap.get(t)}"
+                    )
+        for l, cap in self._link_capacity.items():
+            if self._link_used[l] > cap + 1e-6:
+                raise AssertionError(f"link {l} over-allocated: {self._link_used[l]} > {cap}")

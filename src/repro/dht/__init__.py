@@ -1,0 +1,39 @@
+"""Pastry distributed hash table (id space, node state, network, storage)."""
+
+from .id_space import (
+    DEFAULT_B,
+    ID_BITS,
+    ID_SPACE,
+    circular_distance,
+    clockwise_distance,
+    closest_id,
+    digit,
+    format_id,
+    key_for,
+    num_digits,
+    random_id,
+    shared_prefix_len,
+)
+from .node import LeafSet, PastryNodeState, RoutingTable
+from .pastry import PastryNetwork, RouteResult, RoutingFailure
+
+__all__ = [
+    "DEFAULT_B",
+    "ID_BITS",
+    "ID_SPACE",
+    "LeafSet",
+    "PastryNetwork",
+    "PastryNodeState",
+    "RouteResult",
+    "RoutingFailure",
+    "RoutingTable",
+    "circular_distance",
+    "clockwise_distance",
+    "closest_id",
+    "digit",
+    "format_id",
+    "key_for",
+    "num_digits",
+    "random_id",
+    "shared_prefix_len",
+]

@@ -1,0 +1,116 @@
+"""Pastry identifier space: 128-bit circular ids with base-2^b digits.
+
+Pastry (Rowstron & Druschel 2001) assigns each node and each key a
+128-bit id interpreted as a sequence of digits with base ``2^b``
+(``b = 4`` → hexadecimal digits).  Routing matches progressively longer
+digit prefixes; leaf sets use circular numerical closeness.  This module
+is pure id arithmetic — no networking — so it can be property-tested in
+isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from ..sim.rng import as_generator
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "DEFAULT_B",
+    "num_digits",
+    "digit",
+    "shared_prefix_len",
+    "circular_distance",
+    "clockwise_distance",
+    "key_for",
+    "random_id",
+    "format_id",
+    "closest_id",
+]
+
+ID_BITS = 128
+ID_SPACE = 1 << ID_BITS
+DEFAULT_B = 4  # bits per digit => hexadecimal digits
+
+
+def num_digits(b: int = DEFAULT_B) -> int:
+    """Number of base-2^b digits in a 128-bit id."""
+    if b <= 0 or ID_BITS % b != 0:
+        raise ValueError(f"b must divide {ID_BITS}, got {b}")
+    return ID_BITS // b
+
+
+def digit(node_id: int, index: int, b: int = DEFAULT_B) -> int:
+    """The ``index``-th most-significant base-2^b digit of ``node_id``."""
+    n = num_digits(b)
+    if not 0 <= index < n:
+        raise IndexError(f"digit index {index} out of range for {n} digits")
+    shift = (n - 1 - index) * b
+    return (node_id >> shift) & ((1 << b) - 1)
+
+
+def shared_prefix_len(a: int, c: int, b: int = DEFAULT_B) -> int:
+    """Length (in digits) of the common most-significant-digit prefix."""
+    if a == c:
+        return num_digits(b)
+    xor = a ^ c
+    # position of highest set bit, counted from MSB of the 128-bit word
+    leading = ID_BITS - xor.bit_length()
+    return leading // b
+
+
+def circular_distance(a: int, c: int) -> int:
+    """Shorter-way distance on the 2^128 ring."""
+    d = (a - c) % ID_SPACE
+    return min(d, ID_SPACE - d)
+
+
+def clockwise_distance(a: int, c: int) -> int:
+    """Distance from ``a`` to ``c`` moving clockwise (increasing ids)."""
+    return (c - a) % ID_SPACE
+
+
+def key_for(name: str) -> int:
+    """Hash an arbitrary string (e.g. a service function name) into the ring.
+
+    Pastry applies a secure hash to object names; we use SHA-1 truncated
+    to 128 bits, which is both stable across processes and uniform.
+    """
+    h = hashlib.sha1(name.encode("utf-8")).digest()
+    return int.from_bytes(h[:16], "big")
+
+
+def random_id(rng=None) -> int:
+    """A uniformly random 128-bit id (for node id assignment)."""
+    rng = as_generator(rng)
+    hi = int(rng.integers(0, 1 << 64, dtype="uint64"))
+    lo = int(rng.integers(0, 1 << 64, dtype="uint64"))
+    return (hi << 64) | lo
+
+
+def format_id(node_id: int, b: int = DEFAULT_B, prefix_digits: int = 8) -> str:
+    """Short human-readable form of an id (first few digits)."""
+    n = num_digits(b)
+    digits = [digit(node_id, i, b) for i in range(min(prefix_digits, n))]
+    alphabet = "0123456789abcdefghijklmnopqrstuv"
+    return "".join(alphabet[d] for d in digits) + ("…" if prefix_digits < n else "")
+
+
+def closest_id(key: int, candidates: Iterable[int]) -> int:
+    """The candidate id circularly closest to ``key``.
+
+    Ties (exactly antipodal or equidistant pairs) break toward the
+    numerically smaller id so that responsibility is deterministic
+    across all peers — required for DHT consistency.
+    """
+    best = None
+    best_d = None
+    for c in candidates:
+        d = circular_distance(key, c)
+        if best_d is None or d < best_d or (d == best_d and c < best):
+            best, best_d = c, d
+    if best is None:
+        raise ValueError("no candidates")
+    return best

@@ -1,0 +1,220 @@
+"""Pastry node state: routing table and leaf set.
+
+Each node keeps
+
+* a **routing table** with ``num_digits`` rows and ``2^b`` columns: row
+  ``l`` holds, for each digit value ``d``, some node whose id shares a
+  length-``l`` digit prefix with this node and has ``d`` as its next
+  digit (proximity-aware: among equally valid candidates the lowest-
+  latency one is preferred);
+* a **leaf set** of the ``L/2`` numerically closest smaller and larger
+  ids on the ring — the consistency anchor that makes routing terminate
+  at the numerically closest live node.
+
+The node is pure state + next-hop logic; message transport and repairs
+live in :class:`~repro.dht.pastry.PastryNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from .id_space import (
+    DEFAULT_B,
+    circular_distance,
+    clockwise_distance,
+    digit,
+    num_digits,
+    shared_prefix_len,
+)
+
+__all__ = ["LeafSet", "RoutingTable", "PastryNodeState"]
+
+
+class LeafSet:
+    """The L numerically closest neighbours, half on each side of the ring."""
+
+    def __init__(self, owner_id: int, half_size: int = 8) -> None:
+        if half_size < 1:
+            raise ValueError("leaf set half size must be >= 1")
+        self.owner_id = owner_id
+        self.half_size = half_size
+        self.smaller: List[int] = []  # sorted by increasing ccw distance
+        self.larger: List[int] = []  # sorted by increasing cw distance
+
+    def members(self) -> List[int]:
+        return self.smaller + self.larger
+
+    def add(self, node_id: int) -> None:
+        if node_id == self.owner_id or node_id in self.smaller or node_id in self.larger:
+            return
+        cw = clockwise_distance(self.owner_id, node_id)
+        ccw = clockwise_distance(node_id, self.owner_id)
+        if cw <= ccw:  # node lies clockwise (larger side)
+            self.larger.append(node_id)
+            self.larger.sort(key=lambda x: clockwise_distance(self.owner_id, x))
+            del self.larger[self.half_size :]
+        else:
+            self.smaller.append(node_id)
+            self.smaller.sort(key=lambda x: clockwise_distance(x, self.owner_id))
+            del self.smaller[self.half_size :]
+
+    def remove(self, node_id: int) -> None:
+        if node_id in self.smaller:
+            self.smaller.remove(node_id)
+        if node_id in self.larger:
+            self.larger.remove(node_id)
+
+    def covers(self, key: int) -> bool:
+        """Whether ``key`` falls within the leaf set's ring segment.
+
+        Pastry's routing rule: if the key is between the extreme leaves,
+        deliver to the numerically closest leaf (or the owner).
+        """
+        lo = self.smaller[-1] if self.smaller else self.owner_id
+        hi = self.larger[-1] if self.larger else self.owner_id
+        span = clockwise_distance(lo, hi)
+        return clockwise_distance(lo, key) <= span
+
+    def closest(self, key: int) -> int:
+        """Numerically closest node (including owner) among leaves."""
+        best = self.owner_id
+        best_d = circular_distance(key, best)
+        for m in self.members():
+            d = circular_distance(key, m)
+            if d < best_d or (d == best_d and m < best):
+                best, best_d = m, d
+        return best
+
+
+class RoutingTable:
+    """Prefix routing table: rows[l][d] = node id or None."""
+
+    def __init__(self, owner_id: int, b: int = DEFAULT_B) -> None:
+        self.owner_id = owner_id
+        self.b = b
+        self.rows: List[List[Optional[int]]] = [
+            [None] * (1 << b) for _ in range(num_digits(b))
+        ]
+
+    def slot_for(self, node_id: int) -> Optional[tuple[int, int]]:
+        """(row, col) where ``node_id`` belongs, or None for the owner itself."""
+        if node_id == self.owner_id:
+            return None
+        row = shared_prefix_len(self.owner_id, node_id, self.b)
+        col = digit(node_id, row, self.b)
+        return row, col
+
+    def get(self, row: int, col: int) -> Optional[int]:
+        return self.rows[row][col]
+
+    def consider(
+        self,
+        node_id: int,
+        latency: Optional[Callable[[int], float]] = None,
+    ) -> bool:
+        """Offer a node for inclusion; keep the lower-latency incumbent.
+
+        Returns True if the table changed.  ``latency(node_id)`` supplies
+        proximity; without it, first-come-first-kept (Pastry without the
+        proximity heuristic, still correct).
+        """
+        slot = self.slot_for(node_id)
+        if slot is None:
+            return False
+        row, col = slot
+        incumbent = self.rows[row][col]
+        if incumbent is None:
+            self.rows[row][col] = node_id
+            return True
+        if incumbent == node_id:
+            return False
+        if latency is not None and latency(node_id) < latency(incumbent):
+            self.rows[row][col] = node_id
+            return True
+        return False
+
+    def remove(self, node_id: int) -> None:
+        slot = self.slot_for(node_id)
+        if slot is None:
+            return
+        row, col = slot
+        if self.rows[row][col] == node_id:
+            self.rows[row][col] = None
+
+    def entries(self) -> List[int]:
+        return [e for row in self.rows for e in row if e is not None]
+
+    def row_entries(self, row: int) -> List[int]:
+        return [e for e in self.rows[row] if e is not None]
+
+
+@dataclass
+class PastryNodeState:
+    """Complete per-node Pastry state plus the node's local key/value store."""
+
+    node_id: int
+    peer: int  # overlay peer index hosting this DHT node
+    b: int = DEFAULT_B
+    leaf_half: int = 8
+    leaf_set: LeafSet = field(init=False)
+    routing_table: RoutingTable = field(init=False)
+    store: Dict[int, list] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.leaf_set = LeafSet(self.node_id, self.leaf_half)
+        self.routing_table = RoutingTable(self.node_id, self.b)
+
+    # ------------------------------------------------------------------
+    def learn(self, node_id: int, latency: Optional[Callable[[int], float]] = None) -> None:
+        """Incorporate knowledge of another node into both structures."""
+        if node_id == self.node_id:
+            return
+        self.leaf_set.add(node_id)
+        self.routing_table.consider(node_id, latency)
+
+    def forget(self, node_id: int) -> None:
+        self.leaf_set.remove(node_id)
+        self.routing_table.remove(node_id)
+
+    def known_nodes(self) -> Set[int]:
+        return set(self.leaf_set.members()) | set(self.routing_table.entries())
+
+    # ------------------------------------------------------------------
+    def next_hop(self, key: int, exclude: Optional[Set[int]] = None) -> Optional[int]:
+        """Pastry's next-hop rule; None means *this node is responsible*.
+
+        ``exclude`` lists nodes known dead (skipped during repair routing).
+        """
+        exclude = exclude or set()
+        if key == self.node_id:
+            return None
+        # Rule 1: key within leaf set range -> numerically closest leaf
+        if self.leaf_set.covers(key):
+            candidates = [
+                m for m in self.leaf_set.members() if m not in exclude
+            ] + [self.node_id]
+            best = min(
+                candidates, key=lambda m: (circular_distance(key, m), m)
+            )
+            return None if best == self.node_id else best
+        # Rule 2: routing table entry with a longer shared prefix
+        row = shared_prefix_len(self.node_id, key, self.b)
+        col = digit(key, row, self.b)
+        entry = self.routing_table.get(row, col)
+        if entry is not None and entry not in exclude:
+            return entry
+        # Rule 3 (rare case): any known node strictly closer to the key
+        # with shared prefix >= row
+        my_d = circular_distance(key, self.node_id)
+        best = None
+        best_d = my_d
+        for cand in self.known_nodes():
+            if cand in exclude:
+                continue
+            if shared_prefix_len(cand, key, self.b) >= row:
+                d = circular_distance(key, cand)
+                if d < best_d or (d == best_d and best is not None and cand < best):
+                    best, best_d = cand, d
+        return best

@@ -1,0 +1,334 @@
+"""The Pastry DHT network: construction, routing, storage, churn repair.
+
+One DHT node runs on every overlay peer.  The network object wires node
+states (:class:`~repro.dht.node.PastryNodeState`) to the overlay: hop
+latencies are overlay message latencies, every routing hop is charged to
+the message ledger (category ``"dht_route"``), and peer churn drives
+node death/rebirth plus replica repair.
+
+Two construction paths are provided:
+
+* :meth:`build` — offline construction from global knowledge (standard
+  simulator shortcut: the steady-state tables Pastry converges to);
+* :meth:`join` — the actual Pastry join protocol (route to the closest
+  node, copy leaf set and per-row routing state from the path, announce),
+  used by tests and by churn arrivals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..sim.metrics import MessageLedger
+from ..sim.rng import as_generator
+from ..topology.overlay import Overlay
+from .id_space import DEFAULT_B, circular_distance, random_id
+from .node import PastryNodeState
+
+__all__ = ["RouteResult", "PastryNetwork", "RoutingFailure"]
+
+
+class RoutingFailure(RuntimeError):
+    """Raised when a lookup cannot make progress (partitioned/empty ring)."""
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing a key: where it landed and what it cost."""
+
+    key: int
+    responsible_node: int
+    responsible_peer: int
+    hops: List[int] = field(default_factory=list)  # node ids visited (excl. origin)
+    latency: float = 0.0  # summed one-way overlay latency along hops
+    messages: int = 0
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+
+class PastryNetwork:
+    """All Pastry node states plus the glue to overlay, ledger and churn."""
+
+    MAX_HOPS = 64  # routing in a healthy Pastry ring takes O(log_16 N) hops
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        rng=None,
+        b: int = DEFAULT_B,
+        leaf_half: int = 8,
+        replicas: int = 3,
+        ledger: Optional[MessageLedger] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.rng = as_generator(rng)
+        self.b = b
+        self.leaf_half = leaf_half
+        self.replicas = replicas
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        self.nodes: Dict[int, PastryNodeState] = {}
+        self.node_of_peer: Dict[int, int] = {}
+        self._alive: Set[int] = set()
+        self._ring: List[int] = []  # sorted alive node ids
+        for peer in overlay.peers():
+            nid = random_id(self.rng)
+            while nid in self.nodes:  # vanishing probability, but be exact
+                nid = random_id(self.rng)
+            self.nodes[nid] = PastryNodeState(nid, peer, b=b, leaf_half=leaf_half)
+            self.node_of_peer[peer] = nid
+            self._alive.add(nid)
+        self._ring = sorted(self._alive)
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._alive
+
+    def alive_count(self) -> int:
+        return len(self._alive)
+
+    def peer_of(self, node_id: int) -> int:
+        return self.nodes[node_id].peer
+
+    def node_departed(self, peer: int, _time: float = 0.0) -> None:
+        """Churn hook: the peer's DHT node dies; repair its replicas."""
+        nid = self.node_of_peer.get(peer)
+        if nid is None or nid not in self._alive:
+            return
+        self._alive.discard(nid)
+        i = bisect.bisect_left(self._ring, nid)
+        if i < len(self._ring) and self._ring[i] == nid:
+            del self._ring[i]
+        # Neighbours eventually detect the failure and drop the entry;
+        # we model the end state and charge heartbeat traffic.
+        for state in self.nodes.values():
+            state.forget(nid)
+        self.ledger.record("dht_repair", 64, min(len(self._alive), 2 * self.leaf_half))
+        self._repair_replicas_of(nid)
+
+    def node_arrived(self, peer: int, _time: float = 0.0) -> None:
+        """Churn hook: the peer rejoins with its old id via the join protocol."""
+        nid = self.node_of_peer.get(peer)
+        if nid is None or nid in self._alive:
+            return
+        # stale state is discarded on rejoin (soft-state assumption)
+        self.nodes[nid] = PastryNodeState(nid, peer, b=self.b, leaf_half=self.leaf_half)
+        self._alive.add(nid)
+        bisect.insort(self._ring, nid)
+        if len(self._alive) > 1:
+            self._join_existing(nid)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _latency_fn(self, from_node: int) -> Callable[[int], float]:
+        src_peer = self.nodes[from_node].peer
+
+        def latency(nid: int) -> float:
+            return self.overlay.latency(src_peer, self.nodes[nid].peer)
+
+        return latency
+
+    def build(self) -> None:
+        """Offline steady-state construction from global knowledge."""
+        ids = self._ring
+        n = len(ids)
+        for idx, nid in enumerate(ids):
+            state = self.nodes[nid]
+            lat = self._latency_fn(nid)
+            # leaf set: ring neighbours on both sides
+            for off in range(1, self.leaf_half + 1):
+                state.leaf_set.add(ids[(idx + off) % n])
+                state.leaf_set.add(ids[(idx - off) % n])
+            # routing table: consider every other node (proximity-aware)
+            for other in ids:
+                if other != nid:
+                    state.routing_table.consider(other, lat)
+
+    def join(self, peer: int, bootstrap_peer: Optional[int] = None) -> RouteResult:
+        """Run the Pastry join protocol for ``peer`` (must not be alive)."""
+        nid = self.node_of_peer[peer]
+        if nid in self._alive:
+            raise RoutingFailure(f"peer {peer} already joined")
+        self.nodes[nid] = PastryNodeState(nid, peer, b=self.b, leaf_half=self.leaf_half)
+        self._alive.add(nid)
+        bisect.insort(self._ring, nid)
+        return self._join_existing(nid, bootstrap_peer)
+
+    def _join_existing(self, nid: int, bootstrap_peer: Optional[int] = None) -> RouteResult:
+        state = self.nodes[nid]
+        others = [x for x in self._ring if x != nid]
+        if not others:
+            return RouteResult(nid, nid, state.peer)
+        if bootstrap_peer is None:
+            boot = others[int(self.rng.integers(0, len(others)))]
+        else:
+            boot = self.node_of_peer[bootstrap_peer]
+            if boot not in self._alive or boot == nid:
+                boot = others[int(self.rng.integers(0, len(others)))]
+        # route a join message for our own id starting at the bootstrap
+        result = self._route_from_node(nid, boot, record_origin_hop=True)
+        lat = self._latency_fn(nid)
+        # copy leaf set from the numerically closest node Z
+        z_state = self.nodes[result.responsible_node]
+        state.learn(result.responsible_node, lat)
+        for m in z_state.leaf_set.members():
+            if m in self._alive:
+                state.learn(m, lat)
+        # copy routing rows from nodes along the path (row i from i-th hop)
+        for row_idx, hop in enumerate(result.hops):
+            hop_state = self.nodes[hop]
+            if row_idx < len(hop_state.routing_table.rows):
+                for entry in hop_state.routing_table.row_entries(row_idx):
+                    if entry in self._alive:
+                        state.learn(entry, lat)
+        # announce: every node in our new state learns us
+        for other in state.known_nodes():
+            if other in self._alive:
+                self.nodes[other].learn(nid, self._latency_fn(other))
+                self.ledger.record("dht_join", 128)
+        # take over keys we are now responsible for
+        self._pull_keys_for(nid)
+        return result
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def responsible_node(self, key: int) -> int:
+        """Ground truth: alive node circularly closest to ``key``.
+
+        Uses the global sorted ring; O(log n).  Routing converges here in
+        a healthy overlay — tests assert exactly that.
+        """
+        if not self._ring:
+            raise RoutingFailure("empty ring")
+        i = bisect.bisect_left(self._ring, key) % len(self._ring)
+        # candidates: neighbours around the insertion point
+        cands = {self._ring[i], self._ring[i - 1]}
+        return min(cands, key=lambda c: (circular_distance(key, c), c))
+
+    def route(self, key: int, origin_peer: int) -> RouteResult:
+        """Route ``key`` from ``origin_peer`` to the responsible node."""
+        origin = self.node_of_peer[origin_peer]
+        if origin not in self._alive:
+            raise RoutingFailure(f"origin peer {origin_peer} is not alive")
+        return self._route_from_node(key, origin)
+
+    def _route_from_node(
+        self, key: int, start_node: int, record_origin_hop: bool = False
+    ) -> RouteResult:
+        current = start_node
+        hops: List[int] = [start_node] if record_origin_hop else []
+        latency = 0.0
+        messages = 1 if record_origin_hop else 0
+        dead_seen: Set[int] = set()
+        for _ in range(self.MAX_HOPS):
+            state = self.nodes[current]
+            nxt = state.next_hop(key, exclude=dead_seen)
+            while nxt is not None and nxt not in self._alive:
+                # failed forward: sender times out, repairs, retries
+                dead_seen.add(nxt)
+                state.forget(nxt)
+                self.ledger.record("dht_route", 96)
+                messages += 1
+                nxt = state.next_hop(key, exclude=dead_seen)
+            if nxt is None:
+                return RouteResult(key, current, state.peer, hops, latency, messages)
+            latency += self.overlay.latency(state.peer, self.nodes[nxt].peer)
+            self.ledger.record("dht_route", 96)
+            messages += 1
+            hops.append(nxt)
+            current = nxt
+        raise RoutingFailure(f"routing for key {key:#x} exceeded {self.MAX_HOPS} hops")
+
+    # ------------------------------------------------------------------
+    # storage (the PAST-style key -> list-of-values layer)
+    # ------------------------------------------------------------------
+    def _replica_nodes(self, key: int) -> List[int]:
+        """The responsible node plus its ``replicas`` alive ring successors."""
+        if not self._ring:
+            return []
+        root = self.responsible_node(key)
+        i = self._ring.index(root)
+        out = []
+        for off in range(min(self.replicas + 1, len(self._ring))):
+            out.append(self._ring[(i + off) % len(self._ring)])
+        return out
+
+    def put(self, key: int, value: Any, origin_peer: int) -> RouteResult:
+        """Store ``value`` under ``key`` (append semantics, replicated)."""
+        result = self.route(key, origin_peer)
+        for nid in self._replica_nodes(key):
+            self.nodes[nid].store.setdefault(key, []).append(value)
+            if nid != result.responsible_node:
+                self.ledger.record("dht_replicate", 160)
+                result.messages += 1
+        return result
+
+    def get(self, key: int, origin_peer: int) -> tuple[List[Any], RouteResult]:
+        """Fetch the value list for ``key`` (empty list if unknown)."""
+        result = self.route(key, origin_peer)
+        values = list(self.nodes[result.responsible_node].store.get(key, []))
+        if not values:
+            # placement may have shifted under churn; ask ring successors
+            for nid in self._replica_nodes(key):
+                vals = self.nodes[nid].store.get(key)
+                if vals:
+                    values = list(vals)
+                    self.ledger.record("dht_route", 96)
+                    result.messages += 1
+                    break
+        return values, result
+
+    def remove_values(self, key: int, predicate: Callable[[Any], bool]) -> int:
+        """Delete matching values from all replicas (e.g. on deregistration)."""
+        removed = 0
+        for state in self.nodes.values():
+            vals = state.store.get(key)
+            if not vals:
+                continue
+            kept = [v for v in vals if not predicate(v)]
+            removed += len(vals) - len(kept)
+            if kept:
+                state.store[key] = kept
+            else:
+                del state.store[key]
+        return removed
+
+    # ------------------------------------------------------------------
+    # churn repair helpers
+    # ------------------------------------------------------------------
+    def _repair_replicas_of(self, dead_node: int) -> None:
+        """Re-replicate keys the dead node held from surviving replicas."""
+        dead_store = self.nodes[dead_node].store
+        for key, values in list(dead_store.items()):
+            targets = self._replica_nodes(key)
+            holders = [t for t in targets if key in self.nodes[t].store]
+            if not holders:
+                # all replicas gone: data lost until re-registration,
+                # exactly what a real DHT experiences
+                continue
+            src_vals = self.nodes[holders[0]].store[key]
+            for t in targets:
+                if key not in self.nodes[t].store:
+                    self.nodes[t].store[key] = list(src_vals)
+                    self.ledger.record("dht_replicate", 160)
+
+    def _pull_keys_for(self, nid: int) -> None:
+        """A (re)joined node fetches keys it is now a replica for."""
+        idx = self._ring.index(nid)
+        n = len(self._ring)
+        # keys rooted at us or at our nearby predecessors may replicate to us
+        neighbours = {self._ring[(idx + off) % n] for off in range(-self.replicas, 1)}
+        for other in neighbours:
+            if other == nid:
+                continue
+            for key, values in self.nodes[other].store.items():
+                if nid in self._replica_nodes(key) and key not in self.nodes[nid].store:
+                    self.nodes[nid].store[key] = list(values)
+                    self.ledger.record("dht_replicate", 160)

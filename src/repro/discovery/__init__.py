@@ -1,0 +1,6 @@
+"""Decentralized keyword-based service discovery over the Pastry DHT."""
+
+from .metadata import ServiceMetadata
+from .registry import LookupResult, ServiceRegistry
+
+__all__ = ["LookupResult", "ServiceMetadata", "ServiceRegistry"]

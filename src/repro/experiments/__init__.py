@@ -1,0 +1,59 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation.
+
+==========  ====================================================  ==================
+Experiment  Paper result                                           Driver
+==========  ====================================================  ==================
+Fig. 8      success ratio vs workload, 5 algorithms               :func:`run_fig8`
+Fig. 9      failure frequency with/without proactive recovery    :func:`run_fig9`
+Fig. 10     session setup time vs function number (WAN)           :func:`run_fig10`
+Fig. 11     avg delay vs probing budget (random/BCP/optimal)      :func:`run_fig11`
+§6.1 claim  ≥10× less overhead than centralized maintenance       :func:`run_overhead`
+ablations   design-choice studies (DESIGN.md)                     :mod:`.ablations`
+==========  ====================================================  ==================
+"""
+
+from .ablations import (
+    AblationConfig,
+    ablate_adaptive_budget,
+    ablate_backup_policy,
+    ablate_commutations,
+    ablate_metric_selection,
+    ablate_soft_allocation,
+)
+from .fig8_success_ratio import Fig8Config, Fig8Result, run_fig8
+from .fig9_failure_recovery import Fig9Config, Fig9Result, run_fig9
+from .fig10_setup_time import Fig10Config, Fig10Result, run_fig10
+from .fig11_budget_sweep import Fig11Config, Fig11Result, run_fig11
+from .harness import HeldSessions, Series, format_table
+from .overhead_comparison import OverheadConfig, OverheadResult, run_overhead
+from .trust_extension import TrustConfig, TrustResult, run_trust_extension
+
+__all__ = [
+    "AblationConfig",
+    "Fig8Config",
+    "Fig8Result",
+    "Fig9Config",
+    "Fig9Result",
+    "Fig10Config",
+    "Fig10Result",
+    "Fig11Config",
+    "Fig11Result",
+    "HeldSessions",
+    "OverheadConfig",
+    "OverheadResult",
+    "Series",
+    "ablate_adaptive_budget",
+    "ablate_backup_policy",
+    "ablate_commutations",
+    "ablate_metric_selection",
+    "ablate_soft_allocation",
+    "format_table",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_overhead",
+    "run_trust_extension",
+    "TrustConfig",
+    "TrustResult",
+]

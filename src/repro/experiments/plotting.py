@@ -1,0 +1,99 @@
+"""Terminal plotting for experiment series (no plotting deps required).
+
+The paper's figures are line charts; these helpers render the same
+series as Unicode charts so drivers can show the *shape* directly in a
+terminal log, next to the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .harness import Series
+
+__all__ = ["sparkline", "ascii_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character rendering of a value sequence."""
+    vals = [v for v in values if v is not None and not math.isnan(v)]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None or math.isnan(v):
+            out.append(" ")
+            continue
+        frac = 0.5 if span == 0 else (v - lo) / span
+        out.append(_BLOCKS[min(int(frac * len(_BLOCKS)), len(_BLOCKS) - 1)])
+    return "".join(out)
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render series as a character-grid line chart with a legend.
+
+    Each series gets a marker; points are plotted at scaled positions and
+    connected visually by proximity (good enough to read a trend).
+    """
+    if not series:
+        return "(no series)"
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to be legible")
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y if not math.isnan(y)]
+    if not xs or not ys:
+        return "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(ys) if y_min is None else y_min
+    y_hi = max(ys) if y_max is None else y_max
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in zip(s.x, s.y):
+            if math.isnan(y):
+                continue
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            row = height - 1 - max(0, min(row, height - 1))
+            col = max(0, min(col, width - 1))
+            grid[row][col] = marker
+
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    lines: List[str] = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(gutter)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}┤{''.join(row)}")
+    lines.append(" " * gutter + "└" + "─" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - len(f"{x_hi:.3g}")) + f"{x_hi:.3g}"
+    lines.append(" " * (gutter + 1) + x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + f"[{x_label}]  {legend}  [{y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Service component model, ADUs, and the multimedia service library."""
+
+from .adu import ADU, VideoFrame
+from .component import (
+    ComponentSpec,
+    ProcessingError,
+    QualitySpec,
+    ServiceComponent,
+)
+from .media import (
+    MEDIA_FUNCTIONS,
+    deploy_media_component,
+    make_media_component,
+    make_transform,
+)
+
+# NOTE: the streaming data plane lives in repro.services.streaming and is
+# imported explicitly (``from repro.services.streaming import
+# StreamingSession``) — it builds on repro.core, so re-exporting it here
+# would create an import cycle during package initialisation.
+
+__all__ = [
+    "ADU",
+    "ComponentSpec",
+    "MEDIA_FUNCTIONS",
+    "ProcessingError",
+    "QualitySpec",
+    "ServiceComponent",
+    "VideoFrame",
+    "deploy_media_component",
+    "make_media_component",
+    "make_transform",
+]

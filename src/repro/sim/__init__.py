@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate (engine, network, churn, metrics)."""
+
+from .churn import ChurnProcess, ExponentialChurn
+from .engine import EventHandle, PeriodicTask, SimulationError, Simulator
+from .metrics import (
+    Counter,
+    LatencyStats,
+    MessageLedger,
+    RateOverTime,
+    RatioMeter,
+    TimeSeries,
+    summary_stats,
+)
+from .network import Message, MessageNetwork, UnknownNodeError
+from .rng import as_generator, spawn, stable_hash64, weighted_choice_without_replacement
+from .tracing import EventTrace, TraceEvent, trace_churn, trace_sessions
+
+__all__ = [
+    "ChurnProcess",
+    "Counter",
+    "EventHandle",
+    "EventTrace",
+    "ExponentialChurn",
+    "LatencyStats",
+    "Message",
+    "MessageLedger",
+    "MessageNetwork",
+    "PeriodicTask",
+    "RateOverTime",
+    "RatioMeter",
+    "SimulationError",
+    "Simulator",
+    "TimeSeries",
+    "TraceEvent",
+    "UnknownNodeError",
+    "as_generator",
+    "spawn",
+    "stable_hash64",
+    "summary_stats",
+    "trace_churn",
+    "trace_sessions",
+    "weighted_choice_without_replacement",
+]

@@ -1,0 +1,256 @@
+"""Discrete-event simulation engine.
+
+This is the substrate the paper's custom C++ "event-driven P2P service
+overlay simulator" provides: a monotone virtual clock, an event queue,
+cancellable timers, and periodic processes.  Everything above it (DHT
+messages, composition probes, churn, maintenance probing) is expressed
+as events scheduled on a :class:`Simulator`.
+
+The engine is deliberately simple and allocation-light: events are
+``(time, seq, EventHandle)`` tuples on a binary heap; cancellation is
+lazy (a cancelled handle is skipped when popped) which keeps both
+``schedule`` and ``cancel`` O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "PeriodicTask",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator usage (negative delays, time travel)."""
+
+
+@dataclass(eq=False)
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Instances are returned by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`.  Calling :meth:`cancel` prevents the
+    callback from firing; cancelling an already-fired or already-cancelled
+    event is a harmless no-op (soft-state timeouts rely on this).
+    """
+
+    time: float
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    cancelled: bool = False
+    fired: bool = False
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns True if it had not fired yet."""
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.fired or self.cancelled)
+
+
+class Simulator:
+    """A sequential discrete-event simulator with a float virtual clock.
+
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(5.0, out.append, "b")
+    >>> _ = sim.schedule(1.0, out.append, "a")
+    >>> sim.run()
+    >>> out
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (for overhead accounting)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, not-yet-cancelled events."""
+        return sum(1 for _, _, h in self._queue if h.pending)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> EventHandle:
+        """Schedule ``fn(*args, **kwargs)`` to run ``delay`` from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"negative or NaN delay: {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args, **kwargs)
+
+    def schedule_at(
+        self, when: float, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> EventHandle:
+        """Schedule ``fn`` at absolute virtual time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self._now}"
+            )
+        handle = EventHandle(time=when, fn=fn, args=args, kwargs=kwargs)
+        heapq.heappush(self._queue, (when, next(self._seq), handle))
+        return handle
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start_after: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+        **kwargs: Any,
+    ) -> "PeriodicTask":
+        """Run ``fn`` every ``interval`` time units until stopped.
+
+        ``jitter`` (fraction of the interval, requires ``rng``) desynchronises
+        periodic processes, which matters when simulating many peers that
+        would otherwise all fire state updates on the same tick.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval: {interval!r}")
+        task = PeriodicTask(self, interval, fn, args, kwargs, jitter, rng)
+        task._arm(interval if start_after is None else start_after)
+        return task
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next pending event.  Returns False if none."""
+        while self._queue:
+            when, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = when
+            handle.fired = True
+            self._events_executed += 1
+            handle.fn(*handle.args, **handle.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the clock at that virtual time (events scheduled
+        later stay queued and the clock is advanced to ``until``).
+        ``max_events`` is a runaway guard for tests.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                when, _, handle = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                self._now = when
+                handle.fired = True
+                self._events_executed += 1
+                handle.fn(*handle.args, **handle.kwargs)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def iterate(self, until: Optional[float] = None) -> Iterator[float]:
+        """Generator form of :meth:`run`, yielding the clock after each event."""
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            if not self.step():
+                break
+            yield self._now
+        if until is not None and until > self._now:
+            self._now = until
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic event; see :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        jitter: float = 0.0,
+        rng=None,
+    ) -> None:
+        if jitter and rng is None:
+            raise SimulationError("jitter requires an rng")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.jitter = jitter
+        self.rng = rng
+        self.stopped = False
+        self.fire_count = 0
+        self._handle: Optional[EventHandle] = None
+
+    def _next_delay(self, base: float) -> float:
+        if not self.jitter:
+            return base
+        # uniform jitter in [1-j, 1+j] * base, clamped positive
+        factor = 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return max(base * factor, 1e-9)
+
+    def _arm(self, delay: float) -> None:
+        if self.stopped:
+            return
+        self._handle = self.sim.schedule(self._next_delay(delay), self._fire)
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self.fire_count += 1
+        self.fn(*self.args, **self.kwargs)
+        self._arm(self.interval)
+
+    def stop(self) -> None:
+        """Stop the task; the pending occurrence (if any) is cancelled."""
+        self.stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

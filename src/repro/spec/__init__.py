@@ -1,0 +1,14 @@
+"""Declarative request specifications (JSON / QoSTalk-style XML)."""
+
+from .parser import load_spec, parse_json, parse_xml
+from .schema import RequestSpec, SpecError, compile_spec, spec_from_request
+
+__all__ = [
+    "RequestSpec",
+    "SpecError",
+    "compile_spec",
+    "load_spec",
+    "parse_json",
+    "parse_xml",
+    "spec_from_request",
+]

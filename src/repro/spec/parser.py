@@ -1,0 +1,135 @@
+"""JSON and XML front-ends for request specifications.
+
+QoSTalk (the specification environment the paper points users at) was
+XML-based; modern users expect JSON.  Both formats map 1:1 onto the
+dictionary schema of :mod:`repro.spec.schema`:
+
+JSON — the schema dictionary verbatim.
+
+XML —
+
+.. code-block:: xml
+
+    <composite-request name="mobile-news-stream">
+      <function name="downscale"/>
+      <function name="stock_ticker"/>
+      <function name="requantify"/>
+      <edge from="downscale" to="stock_ticker"/>
+      <edge from="stock_ticker" to="requantify"/>
+      <commutation a="stock_ticker" b="requantify"/>
+      <qos delay-ms="800" loss-rate="0.05"/>
+      <stream bandwidth-mbps="1.2" source="0" dest="42"
+              duration-s="1800" failure-req="0.05"/>
+      <conditional fork="downscale">
+        <branch to="stock_ticker" probability="0.7"/>
+      </conditional>
+    </composite-request>
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+from xml.etree import ElementTree
+
+from .schema import RequestSpec, SpecError, compile_spec
+
+__all__ = ["parse_json", "parse_xml", "load_spec"]
+
+
+def parse_json(text: str) -> RequestSpec:
+    """Parse a JSON request specification."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid JSON: {exc}") from exc
+    return compile_spec(data)
+
+
+def parse_xml(text: str) -> RequestSpec:
+    """Parse an XML (QoSTalk-style) request specification."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise SpecError(f"invalid XML: {exc}") from exc
+    if root.tag != "composite-request":
+        raise SpecError(f"root element must be <composite-request>, got <{root.tag}>")
+    spec: Dict[str, Any] = {"name": root.get("name", "request")}
+    functions = [el.get("name") for el in root.findall("function")]
+    if any(f is None for f in functions):
+        raise SpecError("<function> elements need a 'name' attribute")
+    spec["functions"] = functions
+    edges = []
+    for el in root.findall("edge"):
+        a, b = el.get("from"), el.get("to")
+        if a is None or b is None:
+            raise SpecError("<edge> elements need 'from' and 'to' attributes")
+        edges.append([a, b])
+    if edges:
+        spec["edges"] = edges
+    commutations = []
+    for el in root.findall("commutation"):
+        a, b = el.get("a"), el.get("b")
+        if a is None or b is None:
+            raise SpecError("<commutation> elements need 'a' and 'b' attributes")
+        commutations.append([a, b])
+    if commutations:
+        spec["commutations"] = commutations
+    qos_el = root.find("qos")
+    if qos_el is not None:
+        qos: Dict[str, float] = {}
+        if qos_el.get("delay-ms") is not None:
+            qos["delay_ms"] = float(qos_el.get("delay-ms"))
+        if qos_el.get("loss-rate") is not None:
+            qos["loss_rate"] = float(qos_el.get("loss-rate"))
+        spec["qos"] = qos
+    stream_el = root.find("stream")
+    if stream_el is None:
+        raise SpecError("a <stream> element with source/dest is required")
+    try:
+        spec["source"] = int(stream_el.get("source"))
+        spec["dest"] = int(stream_el.get("dest"))
+    except (TypeError, ValueError) as exc:
+        raise SpecError("<stream> needs integer 'source' and 'dest'") from exc
+    for attr, key in (
+        ("bandwidth-mbps", "bandwidth_mbps"),
+        ("duration-s", "duration_s"),
+        ("failure-req", "failure_req"),
+        ("priority", "priority"),
+    ):
+        if stream_el.get(attr) is not None:
+            spec[key] = float(stream_el.get(attr))
+    conditional: Dict[str, Dict[str, float]] = {}
+    for el in root.findall("conditional"):
+        fork = el.get("fork")
+        if fork is None:
+            raise SpecError("<conditional> needs a 'fork' attribute")
+        probs: Dict[str, float] = {}
+        for br in el.findall("branch"):
+            to, p = br.get("to"), br.get("probability")
+            if to is None or p is None:
+                raise SpecError("<branch> needs 'to' and 'probability'")
+            probs[to] = float(p)
+        # allow specifying all-but-one branch: the remainder is implied
+        declared = sum(probs.values())
+        if declared < 1.0 - 1e-9:
+            fg_successors = {b for a, b in (tuple(e) for e in edges) if a == fork}
+            missing = fg_successors - set(probs)
+            if len(missing) == 1:
+                probs[missing.pop()] = 1.0 - declared
+        conditional[fork] = probs
+    if conditional:
+        spec["conditional"] = conditional
+    return compile_spec(spec)
+
+
+def load_spec(path: Union[str, pathlib.Path]) -> RequestSpec:
+    """Load a specification file; format chosen by extension (.json/.xml)."""
+    p = pathlib.Path(path)
+    text = p.read_text()
+    if p.suffix.lower() == ".json":
+        return parse_json(text)
+    if p.suffix.lower() == ".xml":
+        return parse_xml(text)
+    raise SpecError(f"unsupported spec format {p.suffix!r} (use .json or .xml)")

@@ -1,0 +1,33 @@
+"""IP-layer and overlay topology generation + shortest-path routing."""
+
+from .inet import TopologyError, generate_ip_network, power_law_degree_sequence
+from .maintenance import LiveOverlayView, OverlayMaintainer, PartitionError
+from .overlay import (
+    Overlay,
+    mesh_overlay,
+    peer_delay_matrix,
+    power_law_overlay,
+    random_overlay,
+    select_peers,
+    wan_overlay,
+)
+from .routing import IPRouter, OverlayRouter, graph_to_sparse
+
+__all__ = [
+    "IPRouter",
+    "LiveOverlayView",
+    "OverlayMaintainer",
+    "PartitionError",
+    "Overlay",
+    "OverlayRouter",
+    "TopologyError",
+    "generate_ip_network",
+    "graph_to_sparse",
+    "mesh_overlay",
+    "peer_delay_matrix",
+    "power_law_degree_sequence",
+    "power_law_overlay",
+    "random_overlay",
+    "select_peers",
+    "wan_overlay",
+]

@@ -1,0 +1,146 @@
+"""Shortest-path routing over the IP layer and the overlay.
+
+The paper's simulator "performs IP-layer and overlay-layer data routing
+using shortest path routing".  We provide both layers:
+
+* :class:`IPRouter` — delay-weighted Dijkstra over the router graph,
+  vectorised with :func:`scipy.sparse.csgraph.dijkstra` from a set of
+  source nodes (the peers), so mapping overlay links onto IP paths for
+  hundreds of peers over thousands of routers stays fast.
+* :class:`OverlayRouter` — all-pairs shortest paths over the (much
+  smaller) overlay graph, with cached predecessor matrices so overlay
+  paths (the ℘ⱼ of Eq. 1, whose bottleneck bandwidth the cost function
+  consumes) can be reconstructed in O(path length).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+__all__ = ["IPRouter", "OverlayRouter", "graph_to_sparse"]
+
+
+def graph_to_sparse(
+    g: nx.Graph, weight: str = "delay", nodelist: Optional[Sequence[int]] = None
+) -> Tuple[csr_matrix, List[int]]:
+    """Convert a networkx graph to a CSR adjacency matrix of ``weight``."""
+    nodelist = list(g.nodes) if nodelist is None else list(nodelist)
+    index = {v: i for i, v in enumerate(nodelist)}
+    rows, cols, vals = [], [], []
+    for u, v, data in g.edges(data=True):
+        if u not in index or v not in index:
+            continue
+        w = float(data[weight])
+        rows.extend((index[u], index[v]))
+        cols.extend((index[v], index[u]))
+        vals.extend((w, w))
+    n = len(nodelist)
+    return csr_matrix((vals, (rows, cols)), shape=(n, n)), nodelist
+
+
+class IPRouter:
+    """Delay-based shortest paths on the router-level graph."""
+
+    def __init__(self, ip_graph: nx.Graph) -> None:
+        self.graph = ip_graph
+        self._matrix, self._nodelist = graph_to_sparse(ip_graph, "delay")
+        self._index = {v: i for i, v in enumerate(self._nodelist)}
+        self._delay_cache: Dict[int, np.ndarray] = {}
+        self._pred_cache: Dict[int, np.ndarray] = {}
+
+    def delays_from(self, src: int) -> np.ndarray:
+        """Vector of shortest-path delays from ``src`` to every router."""
+        if src not in self._index:
+            raise KeyError(f"unknown router {src}")
+        i = self._index[src]
+        if i not in self._delay_cache:
+            dist, pred = dijkstra(
+                self._matrix, directed=False, indices=i, return_predecessors=True
+            )
+            self._delay_cache[i] = dist
+            self._pred_cache[i] = pred
+        return self._delay_cache[i]
+
+    def delay(self, src: int, dst: int) -> float:
+        return float(self.delays_from(src)[self._index[dst]])
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Router-level path (inclusive of endpoints)."""
+        self.delays_from(src)
+        pred = self._pred_cache[self._index[src]]
+        j = self._index[dst]
+        if self._index[src] == j:
+            return [src]
+        hops = [j]
+        while pred[j] >= 0:
+            j = pred[j]
+            hops.append(j)
+        if hops[-1] != self._index[src]:
+            raise nx.NetworkXNoPath(f"no IP path {src}->{dst}")
+        return [self._nodelist[k] for k in reversed(hops)]
+
+    def path_bandwidth(self, src: int, dst: int) -> float:
+        """Bottleneck link bandwidth along the delay-shortest IP path."""
+        hops = self.path(src, dst)
+        if len(hops) < 2:
+            return float("inf")
+        return min(self.graph.edges[a, b]["bandwidth"] for a, b in zip(hops, hops[1:]))
+
+
+class OverlayRouter:
+    """All-pairs shortest paths over the overlay graph (delay metric).
+
+    Precomputes the full P×P delay and predecessor matrices once (the
+    overlay has at most ~1000 peers, so this is a few MB); exposes
+    ``delay``, ``path`` (peer sequence) and ``links`` (overlay edge
+    sequence) used by bandwidth admission along service links.
+    """
+
+    def __init__(self, overlay_graph: nx.Graph) -> None:
+        self.graph = overlay_graph
+        self._matrix, self._nodelist = graph_to_sparse(overlay_graph, "delay")
+        self._index = {v: i for i, v in enumerate(self._nodelist)}
+        self._dist, self._pred = dijkstra(
+            self._matrix, directed=False, return_predecessors=True
+        )
+
+    @property
+    def peers(self) -> List[int]:
+        return list(self._nodelist)
+
+    def delay(self, src: int, dst: int) -> float:
+        try:
+            return float(self._dist[self._index[src], self._index[dst]])
+        except KeyError as exc:
+            raise KeyError(f"unknown peer {exc.args[0]}") from None
+
+    def reachable(self, src: int, dst: int) -> bool:
+        return np.isfinite(self._dist[self._index[src], self._index[dst]])
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Overlay peer path from src to dst (inclusive)."""
+        i, j = self._index[src], self._index[dst]
+        if i == j:
+            return [src]
+        if not np.isfinite(self._dist[i, j]):
+            raise nx.NetworkXNoPath(f"no overlay path {src}->{dst}")
+        hops = [j]
+        k = j
+        while self._pred[i, k] >= 0:
+            k = self._pred[i, k]
+            hops.append(k)
+        return [self._nodelist[h] for h in reversed(hops)]
+
+    def links(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Overlay links (canonically ordered pairs) along the path."""
+        hops = self.path(src, dst)
+        return [tuple(sorted((a, b))) for a, b in zip(hops, hops[1:])]
+
+    def delay_matrix(self) -> np.ndarray:
+        """The full pairwise delay matrix, indexed by :attr:`peers` order."""
+        return self._dist.copy()

@@ -1,0 +1,6 @@
+"""Decentralized trust management (the paper's §8 future-work extension)."""
+
+from .malice import MaliciousPopulation
+from .reputation import BetaReputation, TrustManager
+
+__all__ = ["BetaReputation", "MaliciousPopulation", "TrustManager"]

@@ -1,0 +1,23 @@
+"""Workload generation: populations, request streams, experiment scenarios."""
+
+from .arrivals import PoissonArrivals, ZipfFunctionSampler, zipf_weights
+from .generator import (
+    PopulationConfig,
+    RequestConfig,
+    RequestGenerator,
+    function_names,
+    generate_population,
+    media_population,
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "PopulationConfig",
+    "RequestConfig",
+    "RequestGenerator",
+    "function_names",
+    "generate_population",
+    "media_population",
+    "zipf_weights",
+    "ZipfFunctionSampler",
+]

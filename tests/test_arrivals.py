@@ -1,0 +1,122 @@
+"""Tests for arrival processes and Zipf popularity."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workload import (
+    PoissonArrivals,
+    RequestConfig,
+    RequestGenerator,
+    ZipfFunctionSampler,
+    zipf_weights,
+)
+
+
+class TestPoissonArrivals:
+    def test_mean_rate_matches(self):
+        sim = Simulator()
+        count = []
+        proc = PoissonArrivals(sim, rate=5.0, callback=lambda: count.append(sim.now),
+                               rng=np.random.default_rng(0))
+        proc.start()
+        sim.run(until=200.0)
+        # E = 1000 arrivals; Poisson sd ~ 32
+        assert 880 <= len(count) <= 1120
+        assert proc.arrivals == len(count)
+
+    def test_interarrivals_exponential_shape(self):
+        sim = Simulator()
+        times = []
+        proc = PoissonArrivals(sim, rate=2.0, callback=lambda: times.append(sim.now),
+                               rng=np.random.default_rng(1))
+        proc.start()
+        sim.run(until=500.0)
+        gaps = np.diff(times)
+        # exponential: mean ≈ sd
+        assert abs(gaps.mean() - gaps.std()) < 0.15 * gaps.mean()
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        count = []
+        proc = PoissonArrivals(sim, rate=10.0, callback=lambda: count.append(1),
+                               rng=np.random.default_rng(2))
+        proc.start()
+        sim.run(until=5.0)
+        proc.stop()
+        n = len(count)
+        sim.run(until=50.0)
+        assert len(count) == n
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(Simulator(), rate=0.0, callback=lambda: None)
+
+    def test_restart_after_stop_rejected(self):
+        proc = PoissonArrivals(Simulator(), rate=1.0, callback=lambda: None)
+        proc.stop()
+        with pytest.raises(RuntimeError):
+            proc.start()
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(10, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+        assert len(w) == 10
+
+    def test_zero_skew_uniform(self):
+        w = zipf_weights(5, 0.0)
+        assert np.allclose(w, 0.2)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(8, 1.2)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_higher_skew_more_concentrated(self):
+        assert zipf_weights(10, 2.0)[0] > zipf_weights(10, 0.5)[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+
+class TestZipfFunctionSampler:
+    def test_distinct_samples(self):
+        sampler = ZipfFunctionSampler([f"f{i}" for i in range(10)], skew=1.0,
+                                      rng=np.random.default_rng(0))
+        for _ in range(20):
+            out = sampler.sample(4)
+            assert len(out) == len(set(out)) == 4
+
+    def test_popular_functions_dominate(self):
+        sampler = ZipfFunctionSampler([f"f{i}" for i in range(20)], skew=1.5,
+                                      rng=np.random.default_rng(0))
+        hits = sum(1 for _ in range(300) if "f0" in sampler.sample(1))
+        # rank-0 weight at skew 1.5 over 20 items is ~0.38
+        assert hits > 80
+
+    def test_k_clamped(self):
+        sampler = ZipfFunctionSampler(["a", "b"], rng=np.random.default_rng(0))
+        assert sorted(sampler.sample(10)) == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfFunctionSampler([])
+
+    def test_generator_integration(self, overlay):
+        gen = RequestGenerator(
+            overlay,
+            [f"F{i:03d}" for i in range(1, 21)],
+            RequestConfig(function_count=(2, 2), popularity_skew=1.5),
+            rng=np.random.default_rng(0),
+        )
+        counts = {}
+        for _ in range(150):
+            for fn in gen.next_request().function_graph.functions:
+                counts[fn] = counts.get(fn, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # the top function should be requested far more than the median
+        assert ranked[0] >= 3 * ranked[len(ranked) // 2]

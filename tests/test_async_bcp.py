@@ -1,0 +1,249 @@
+"""Tests for the event-driven (simulated-mode) BCP executor."""
+
+import pytest
+
+from repro.core.async_bcp import AsyncBCP
+from repro.core.bcp import BCPConfig
+from repro.core.function_graph import FunctionGraph
+from repro.sim.engine import Simulator
+
+from worlds import MicroWorld
+
+
+def make_async(world, soft_timeout=30.0):
+    sim = Simulator()
+    return sim, AsyncBCP(sim, world.bcp, soft_state_timeout=soft_timeout)
+
+
+def run_compose(world, sim, abcp, req, budget=None, confirm=False, until=120.0):
+    results = []
+    abcp.compose(req, budget=budget, confirm=confirm, callback=results.append)
+    sim.run(until=until)
+    assert len(results) == 1, "callback must fire exactly once"
+    return results[0]
+
+
+class TestBasicOperation:
+    def test_simple_composition_succeeds(self):
+        world = MicroWorld(config=BCPConfig(budget=16))
+        world.place("fa", peer=2)
+        sim, abcp = make_async(world)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        result = run_compose(world, sim, abcp, req)
+        assert result.success
+        assert result.best.component("fa").peer == 2
+
+    def test_matches_synchronous_mode(self):
+        def build():
+            world = MicroWorld(config=BCPConfig(budget=32, objective="delay"))
+            for fn, peers in (("fa", (2, 3)), ("fb", (4, 5))):
+                for p in peers:
+                    world.place(fn, peer=p, delay=0.001 * p)
+            return world
+
+        world_sync = build()
+        req = world_sync.request(FunctionGraph.linear(["fa", "fb"]), source=0, dest=7)
+        sync_result = world_sync.bcp.compose(req, confirm=False)
+
+        world_async = build()
+        sim, abcp = make_async(world_async)
+        req2 = world_async.request(FunctionGraph.linear(["fa", "fb"]), source=0, dest=7)
+        async_result = run_compose(world_async, sim, abcp, req2)
+
+        assert async_result.success and sync_result.success
+        # identical worlds, identical winners and QoS
+        assert async_result.best_qos.get("delay") == pytest.approx(
+            sync_result.best_qos.get("delay")
+        )
+        assert async_result.candidates_examined == sync_result.candidates_examined
+
+    def test_setup_time_is_virtual_elapsed(self):
+        world = MicroWorld(config=BCPConfig(budget=8, collect_timeout=2.0))
+        world.place("fa", peer=2)
+        sim, abcp = make_async(world)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        result = run_compose(world, sim, abcp, req)
+        assert result.success
+        # selection fires at the collection timeout; ack follows
+        assert result.setup_time >= 2.0
+        assert result.phases["setup_ack"] > 0
+
+    def test_invalid_budget_rejected(self):
+        world = MicroWorld()
+        world.place("fa", peer=2)
+        sim, abcp = make_async(world)
+        with pytest.raises(ValueError):
+            abcp.compose(world.request(FunctionGraph.linear(["fa"])), budget=0)
+
+    def test_bad_soft_timeout_rejected(self):
+        world = MicroWorld()
+        with pytest.raises(ValueError):
+            AsyncBCP(Simulator(), world.bcp, soft_state_timeout=0.0)
+
+    def test_failure_no_components(self):
+        world = MicroWorld()
+        sim, abcp = make_async(world)
+        req = world.request(FunctionGraph.linear(["ghost"]))
+        result = run_compose(world, sim, abcp, req)
+        assert not result.success
+        assert "no probe" in result.failure_reason
+
+
+class TestDagAndCommutation:
+    def test_diamond_merges_event_driven(self):
+        world = MicroWorld(config=BCPConfig(budget=32))
+        fg = FunctionGraph.from_edges(
+            ["fa", "fb", "fc", "fd"],
+            [("fa", "fb"), ("fa", "fc"), ("fb", "fd"), ("fc", "fd")],
+        )
+        for fn, p in (("fa", 2), ("fb", 3), ("fc", 4), ("fd", 5)):
+            world.place(fn, peer=p)
+        sim, abcp = make_async(world)
+        result = run_compose(world, sim, abcp, world.request(fg, source=0, dest=7))
+        assert result.success
+        assert set(result.best.assignment) == {"fa", "fb", "fc", "fd"}
+
+    def test_commutation_explored(self):
+        world = MicroWorld(config=BCPConfig(budget=32, objective="delay"))
+        fg = FunctionGraph.linear(["fa", "fb", "fc"], [("fb", "fc")])
+        world.place("fa", peer=1)
+        world.place("fb", peer=6)
+        world.place("fc", peer=2)
+        sim, abcp = make_async(world)
+        result = run_compose(world, sim, abcp, world.request(fg, source=0, dest=7))
+        assert result.success
+        assert result.best.pattern.topological_order() == ["fa", "fc", "fb"]
+
+
+class TestChurnDuringProbing:
+    def test_peer_dying_mid_flight_loses_probe(self):
+        world = MicroWorld(config=BCPConfig(budget=8))
+        world.place("fa", peer=6)  # 60 ms from source: plenty of in-flight time
+        sim, abcp = make_async(world)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        abcp_handle = []
+        abcp.compose(req, confirm=False, callback=abcp_handle.append)
+        sim.schedule(0.010, world.kill, 6)  # dies while the probe flies
+        sim.run(until=60.0)
+        result = abcp_handle[0]
+        assert not result.success
+
+    def test_survivor_component_still_wins(self):
+        world = MicroWorld(config=BCPConfig(budget=16))
+        world.place("fa", peer=6)
+        world.place("fa", peer=2)
+        sim, abcp = make_async(world)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        out = []
+        abcp.compose(req, confirm=False, callback=out.append)
+        sim.schedule(0.010, world.kill, 6)
+        sim.run(until=60.0)
+        result = out[0]
+        assert result.success
+        assert result.best.component("fa").peer == 2
+
+    def test_host_death_before_ack_fails_setup(self):
+        world = MicroWorld(config=BCPConfig(budget=8, collect_timeout=1.0))
+        world.place("fa", peer=4)
+        sim, abcp = make_async(world)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        out = []
+        abcp.compose(req, confirm=True, callback=out.append)
+        # die after selection (t=1.0) but before the ack completes
+        sim.schedule(1.0 + 1e-6, world.kill, 4)
+        sim.run(until=60.0)
+        result = out[0]
+        assert not result.success
+        assert "ack" in result.failure_reason
+        assert world.pool.active_tokens() == []
+
+
+class TestSoftStateExpiry:
+    def test_unconfirmed_reservations_expire(self):
+        world = MicroWorld(config=BCPConfig(budget=8, collect_timeout=5.0))
+        world.place("fa", peer=2, cpu=30.0)
+        sim, abcp = make_async(world, soft_timeout=1.0)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        out = []
+        abcp.compose(req, confirm=True, callback=out.append)
+        # before expiry the reservation is held
+        sim.run(until=0.5)
+        assert world.pool.available(2).get("cpu") == pytest.approx(70.0)
+        # expiry fires before the 5 s collection window ends: by selection
+        # time the reservation is gone, so the ack pass fails the setup
+        sim.run(until=60.0)
+        result = out[0]
+        assert not result.success
+        assert world.pool.available(2).get("cpu") == pytest.approx(100.0)
+        assert world.pool.active_tokens() == []
+
+    def test_confirmed_session_does_not_expire(self):
+        world = MicroWorld(config=BCPConfig(budget=8, collect_timeout=0.5))
+        world.place("fa", peer=2, cpu=30.0)
+        sim, abcp = make_async(world, soft_timeout=2.0)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        out = []
+        abcp.compose(req, confirm=True, callback=out.append)
+        sim.run(until=120.0)  # far beyond the soft timeout
+        result = out[0]
+        assert result.success
+        # the confirmed session still holds its resources
+        assert world.pool.available(2).get("cpu") == pytest.approx(70.0)
+        for token in result.session_tokens:
+            world.pool.release(token)
+
+    def test_loser_reservations_released_at_selection(self):
+        world = MicroWorld(config=BCPConfig(budget=16, collect_timeout=0.5))
+        world.place("fa", peer=2, cpu=20.0)
+        world.place("fa", peer=3, cpu=20.0)
+        sim, abcp = make_async(world, soft_timeout=30.0)
+        req = world.request(FunctionGraph.linear(["fa"]))
+        out = []
+        abcp.compose(req, confirm=True, callback=out.append)
+        sim.run(until=120.0)
+        result = out[0]
+        assert result.success
+        winner = result.best.component("fa").peer
+        loser = 3 if winner == 2 else 2
+        assert world.pool.available(loser).get("cpu") == pytest.approx(100.0)
+        for token in result.session_tokens:
+            world.pool.release(token)
+
+
+class TestConcurrentRequests:
+    def test_soft_allocation_arbitrates_contention(self):
+        """Two concurrent requests compete for one scarce component slot."""
+        world = MicroWorld(config=BCPConfig(budget=8, collect_timeout=0.5), cpu=25.0)
+        world.place("fa", peer=2, cpu=20.0)  # only one session fits
+        sim, abcp = make_async(world)
+        out = []
+        r1 = world.request(FunctionGraph.linear(["fa"]), source=0, dest=1)
+        r2 = world.request(FunctionGraph.linear(["fa"]), source=3, dest=4)
+        abcp.compose(r1, confirm=True, callback=out.append)
+        abcp.compose(r2, confirm=True, callback=out.append)
+        sim.run(until=60.0)
+        assert len(out) == 2
+        successes = [r for r in out if r.success]
+        assert len(successes) == 1  # exactly one wins, no over-commitment
+        world.pool.check_invariants()
+        for token in successes[0].session_tokens:
+            world.pool.release(token)
+
+    def test_many_interleaved_requests_keep_invariants(self):
+        world = MicroWorld(
+            n_peers=10, config=BCPConfig(budget=8, collect_timeout=0.5), cpu=60.0
+        )
+        for p in (2, 3, 4):
+            world.place("fa", peer=p, cpu=25.0)
+        sim, abcp = make_async(world)
+        out = []
+        for i in range(6):
+            req = world.request(FunctionGraph.linear(["fa"]), source=0, dest=9)
+            sim.schedule(0.05 * i, abcp.compose, req, None, True, out.append)
+        sim.run(until=120.0)
+        assert len(out) == 6
+        world.pool.check_invariants()
+        for r in out:
+            for token in r.session_tokens:
+                world.pool.release(token)
+        world.pool.check_invariants()

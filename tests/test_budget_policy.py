@@ -1,0 +1,142 @@
+"""Tests for the adaptive probing-budget policy (§4.1 Step 1)."""
+
+import pytest
+
+from repro.core.bcp import CompositionResult
+from repro.core.budget import AdaptiveBudgetPolicy, BudgetPolicyConfig
+from repro.core.function_graph import FunctionGraph
+from repro.core.qos import QoSRequirement
+from repro.core.request import CompositeRequest
+from repro.core.selection import CandidateGraph
+
+
+def request(k=2, priority=1.0, delay_bound=1.0):
+    return CompositeRequest.create(
+        function_graph=FunctionGraph.linear([f"f{i}" for i in range(k)]),
+        qos=QoSRequirement({"delay": delay_bound}),
+        source_peer=0,
+        dest_peer=1,
+        priority=priority,
+    )
+
+
+def outcome(success=True, n_qualified=3):
+    result = CompositionResult(request=request(), success=success)
+    result.qualified = [None] * n_qualified  # only the length is consulted
+    return result
+
+
+class TestConfigValidation:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetPolicyConfig(base=0)
+        with pytest.raises(ValueError):
+            BudgetPolicyConfig(min_budget=10, max_budget=5)
+        with pytest.raises(ValueError):
+            BudgetPolicyConfig(complexity_base=0.5)
+        with pytest.raises(ValueError):
+            BudgetPolicyConfig(target_success=0.0)
+        with pytest.raises(ValueError):
+            BudgetPolicyConfig(adjust_step=1.0)
+        with pytest.raises(ValueError):
+            BudgetPolicyConfig(multiplier_range=(2.0, 4.0))
+
+
+class TestBudgetSignals:
+    def test_reference_request_gets_base(self):
+        policy = AdaptiveBudgetPolicy(BudgetPolicyConfig(base=8))
+        assert policy.budget_for(request(k=2)) == 8
+
+    def test_priority_scales_linearly(self):
+        policy = AdaptiveBudgetPolicy(BudgetPolicyConfig(base=8))
+        assert policy.budget_for(request(priority=2.0)) == 16
+
+    def test_complexity_grows_budget(self):
+        policy = AdaptiveBudgetPolicy(BudgetPolicyConfig(base=8, complexity_base=2.0))
+        assert policy.budget_for(request(k=2)) == 8
+        assert policy.budget_for(request(k=3)) == 16
+        assert policy.budget_for(request(k=4)) == 32
+
+    def test_strict_qos_boost(self):
+        cfg = BudgetPolicyConfig(base=8, strict_delay_bound=0.25, strictness_boost=2.0)
+        policy = AdaptiveBudgetPolicy(cfg)
+        assert policy.budget_for(request(delay_bound=0.1)) == 16
+        assert policy.budget_for(request(delay_bound=1.0)) == 8
+
+    def test_clipped_to_bounds(self):
+        cfg = BudgetPolicyConfig(base=8, min_budget=4, max_budget=20)
+        policy = AdaptiveBudgetPolicy(cfg)
+        assert policy.budget_for(request(k=6)) == 20  # complexity would explode
+        policy.multiplier = 0.01
+        assert policy.budget_for(request()) == 4
+
+
+class TestFeedbackController:
+    def test_low_success_raises_multiplier(self):
+        cfg = BudgetPolicyConfig(window=5, target_success=0.9)
+        policy = AdaptiveBudgetPolicy(cfg)
+        for _ in range(5):
+            policy.record_outcome(outcome(success=False))
+        assert policy.multiplier > 1.0
+
+    def test_surplus_success_lowers_multiplier(self):
+        cfg = BudgetPolicyConfig(window=5, surplus_qualified=4)
+        policy = AdaptiveBudgetPolicy(cfg)
+        for _ in range(5):
+            policy.record_outcome(outcome(success=True, n_qualified=10))
+        assert policy.multiplier < 1.0
+
+    def test_comfortable_regime_stays_put(self):
+        cfg = BudgetPolicyConfig(window=5, surplus_qualified=8)
+        policy = AdaptiveBudgetPolicy(cfg)
+        for _ in range(5):
+            policy.record_outcome(outcome(success=True, n_qualified=3))
+        assert policy.multiplier == 1.0
+
+    def test_multiplier_bounded(self):
+        cfg = BudgetPolicyConfig(window=2, multiplier_range=(0.5, 2.0))
+        policy = AdaptiveBudgetPolicy(cfg)
+        for _ in range(20):
+            policy.record_outcome(outcome(success=False))
+        assert policy.multiplier == 2.0
+
+    def test_no_action_before_window_fills(self):
+        policy = AdaptiveBudgetPolicy(BudgetPolicyConfig(window=10))
+        for _ in range(9):
+            policy.record_outcome(outcome(success=False))
+        assert policy.multiplier == 1.0
+
+    def test_recent_success_rate(self):
+        policy = AdaptiveBudgetPolicy(BudgetPolicyConfig(window=10))
+        policy.record_outcome(outcome(success=True))
+        policy.record_outcome(outcome(success=False))
+        assert policy.recent_success_rate == 0.5
+
+
+class TestEndToEnd:
+    def test_controller_recovers_success_under_tightness(self):
+        """Against a real world: tight QoS fails at tiny budgets; the
+        controller grows the budget until requests succeed again."""
+        from repro.core.bcp import BCPConfig
+        from worlds import MicroWorld
+
+        world = MicroWorld(config=BCPConfig())
+        for p in range(2, 7):
+            world.place("fa", peer=p, delay=0.002)
+            world.place("fb", peer=p, delay=0.002)
+        policy = AdaptiveBudgetPolicy(
+            BudgetPolicyConfig(base=2, window=5, max_budget=64)
+        )
+        fg = FunctionGraph.linear(["fa", "fb"])
+        successes_early, successes_late = 0, 0
+        for i in range(40):
+            req = world.request(fg, source=0, dest=7, delay_bound=0.16)
+            budget = policy.budget_for(req)
+            result = world.bcp.compose(req, budget=budget, confirm=False)
+            policy.record_outcome(result)
+            if i < 10:
+                successes_early += int(result.success)
+            if i >= 30:
+                successes_late += int(result.success)
+        assert policy.multiplier >= 1.0
+        assert successes_late >= successes_early

@@ -1,0 +1,190 @@
+"""Unit + property tests for the ψλ cost function and budget/quota logic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostWeights, psi_cost
+from repro.core.function_graph import FunctionGraph
+from repro.core.qos import QoSVector
+from repro.core.quota import (
+    ReplicationProportionalQuota,
+    UniformQuota,
+    budget_for_fraction,
+    split_budget,
+)
+from repro.core.resources import ResourcePool, ResourceVector
+from repro.core.service_graph import ServiceGraph
+from repro.discovery.metadata import ServiceMetadata
+from repro.services.component import QualitySpec
+
+
+def meta(cid, fn, peer, cpu=10.0, mem=32.0):
+    return ServiceMetadata(
+        component_id=cid,
+        function=fn,
+        peer=peer,
+        qp=QoSVector({"delay": 0.01, "loss": 0.0}),
+        resources=ResourceVector({"cpu": cpu, "memory": mem}),
+        input_quality=QualitySpec(),
+        output_quality=QualitySpec(),
+    )
+
+
+@pytest.fixture
+def pool(overlay):
+    caps = {p: ResourceVector({"cpu": 100.0, "memory": 400.0}) for p in overlay.peers()}
+    return ResourcePool(overlay, caps)
+
+
+def one_component_graph(peer=2, cpu=10.0):
+    fg = FunctionGraph.linear(["a"])
+    return ServiceGraph(
+        fg, {"a": meta(1, "a", peer, cpu=cpu)}, source_peer=0, dest_peer=1, base_bandwidth=0.5
+    )
+
+
+class TestCostWeights:
+    def test_uniform_sums_to_one(self):
+        w = CostWeights.uniform(("cpu", "memory"))
+        total = sum(w.resource_weights.values()) + w.bandwidth_weight
+        assert total == pytest.approx(1.0)
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights({"cpu": 0.9}, 0.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights({"cpu": -0.5}, 1.5)
+
+
+class TestPsiCost:
+    def test_hand_computed_single_component(self, pool, overlay):
+        sg = one_component_graph(peer=2, cpu=30.0)
+        w = CostWeights({"cpu": 0.5, "memory": 0.25}, 0.25)
+        cost = psi_cost(sg, pool, w)
+        expected = 0.5 * 30.0 / 100.0 + 0.25 * 32.0 / 400.0
+        for link in sg.service_links():
+            if link.src_peer != link.dst_peer:
+                ba = pool.path_available_bandwidth(link.src_peer, link.dst_peer)
+                expected += 0.25 * link.bandwidth / ba
+        assert cost == pytest.approx(expected)
+
+    def test_lower_availability_raises_cost(self, pool):
+        sg = one_component_graph(peer=2)
+        base = psi_cost(sg, pool)
+        pool.soft_allocate_peer("other", 2, ResourceVector({"cpu": 60.0}))
+        loaded = psi_cost(sg, pool)
+        assert loaded > base
+
+    def test_exhausted_resource_infinite(self, pool):
+        sg = one_component_graph(peer=2)
+        pool.soft_allocate_peer("hog", 2, ResourceVector({"cpu": 100.0}))
+        assert math.isinf(psi_cost(sg, pool))
+
+    def test_bandwidth_only_weights(self, pool):
+        sg = one_component_graph()
+        w = CostWeights({"cpu": 0.0, "memory": 0.0}, 1.0)
+        cost = psi_cost(sg, pool, w)
+        assert 0.0 < cost < math.inf
+
+    def test_smaller_demand_smaller_cost(self, pool):
+        light = one_component_graph(cpu=5.0)
+        heavy = one_component_graph(cpu=50.0)
+        assert psi_cost(light, pool) < psi_cost(heavy, pool)
+
+    def test_default_weights_uniform_over_pool_types(self, pool):
+        sg = one_component_graph()
+        assert psi_cost(sg, pool) == pytest.approx(
+            psi_cost(sg, pool, CostWeights.uniform(pool.resource_types))
+        )
+
+
+class TestQuotaPolicies:
+    def test_uniform(self):
+        assert UniformQuota(4)("any", 100) == 4
+        with pytest.raises(ValueError):
+            UniformQuota(0)
+
+    def test_replication_proportional(self):
+        q = ReplicationProportionalQuota(fraction=0.5, floor_=1, cap=8)
+        assert q("f", 0) == 1  # floor
+        assert q("f", 4) == 2
+        assert q("f", 100) == 8  # cap
+
+    def test_replication_validation(self):
+        with pytest.raises(ValueError):
+            ReplicationProportionalQuota(fraction=0.0)
+        with pytest.raises(ValueError):
+            ReplicationProportionalQuota(floor_=5, cap=2)
+
+
+class TestSplitBudget:
+    def test_proportional_to_quota(self):
+        shares = split_budget(12, [("a", 2, True), ("b", 1, True)])
+        assert shares[0] == 8 and shares[1] == 4
+
+    def test_total_never_exceeds_budget(self):
+        shares = split_budget(7, [("a", 3, True), ("b", 2, True), ("c", 2, True)])
+        assert sum(shares.values()) == 7
+
+    def test_dependencies_get_at_least_one(self):
+        shares = split_budget(2, [("a", 100, True), ("b", 1, True)])
+        assert shares[0] >= 1 and shares[1] >= 1
+
+    def test_commutation_starved_first(self):
+        # 1 unit, one dependency + one commutation alternative
+        shares = split_budget(1, [("dep", 1, True), ("alt", 100, False)])
+        assert shares[0] == 1
+
+    def test_zero_budget(self):
+        shares = split_budget(0, [("a", 1, True)])
+        assert shares[0] == 0
+
+    def test_empty_entries(self):
+        assert split_budget(5, []) == {}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            split_budget(-1, [("a", 1, True)])
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=50), st.booleans()),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_properties(self, budget, raw_entries):
+        entries = [(f"f{i}", q, dep) for i, (q, dep) in enumerate(raw_entries)]
+        shares = split_budget(budget, entries)
+        assert sum(shares.values()) <= budget
+        assert all(v >= 0 for v in shares.values())
+        n_deps = sum(1 for _, _, d in entries if d)
+        if budget >= len(entries):
+            for i, (_, _, is_dep) in enumerate(entries):
+                if is_dep:
+                    assert shares[i] >= 1
+
+
+class TestBudgetForFraction:
+    def test_paper_example(self):
+        # probing-0.2 of 4913 optimal probes
+        assert budget_for_fraction(4913, 0.2) == 983
+
+    def test_minimum_one(self):
+        assert budget_for_fraction(2, 0.1) == 1
+        assert budget_for_fraction(0, 0.5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            budget_for_fraction(-1, 0.5)
+        with pytest.raises(ValueError):
+            budget_for_fraction(100, 0.0)
+        with pytest.raises(ValueError):
+            budget_for_fraction(100, 1.5)

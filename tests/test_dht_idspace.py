@@ -1,0 +1,162 @@
+"""Unit + property tests for the Pastry identifier space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.id_space import (
+    DEFAULT_B,
+    ID_BITS,
+    ID_SPACE,
+    circular_distance,
+    clockwise_distance,
+    closest_id,
+    digit,
+    format_id,
+    key_for,
+    num_digits,
+    random_id,
+    shared_prefix_len,
+)
+
+ids = st.integers(min_value=0, max_value=ID_SPACE - 1)
+
+
+class TestDigits:
+    def test_num_digits_default(self):
+        assert num_digits() == 32  # 128 bits / 4 bits per digit
+
+    def test_num_digits_other_bases(self):
+        assert num_digits(1) == 128
+        assert num_digits(8) == 16
+
+    def test_invalid_b_rejected(self):
+        with pytest.raises(ValueError):
+            num_digits(3)  # does not divide 128
+        with pytest.raises(ValueError):
+            num_digits(0)
+
+    def test_digit_extraction_known_value(self):
+        nid = 0xABC << (ID_BITS - 12)  # top three hex digits = a, b, c
+        assert digit(nid, 0) == 0xA
+        assert digit(nid, 1) == 0xB
+        assert digit(nid, 2) == 0xC
+        assert digit(nid, 3) == 0x0
+
+    def test_digit_index_bounds(self):
+        with pytest.raises(IndexError):
+            digit(0, 32)
+        with pytest.raises(IndexError):
+            digit(0, -1)
+
+    @given(ids)
+    @settings(max_examples=50, deadline=None)
+    def test_digits_reassemble_id(self, nid):
+        digits = [digit(nid, i) for i in range(num_digits())]
+        rebuilt = 0
+        for d in digits:
+            rebuilt = (rebuilt << DEFAULT_B) | d
+        assert rebuilt == nid
+
+
+class TestSharedPrefix:
+    def test_identical_ids_full_length(self):
+        assert shared_prefix_len(5, 5) == num_digits()
+
+    def test_differ_in_first_digit(self):
+        a = 0x1 << (ID_BITS - 4)
+        b = 0x2 << (ID_BITS - 4)
+        assert shared_prefix_len(a, b) == 0
+
+    def test_differ_in_third_digit(self):
+        a = 0xAB1 << (ID_BITS - 12)
+        b = 0xAB2 << (ID_BITS - 12)
+        assert shared_prefix_len(a, b) == 2
+
+    @given(ids, ids)
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_symmetry_and_digit_consistency(self, a, b):
+        n = shared_prefix_len(a, b)
+        assert n == shared_prefix_len(b, a)
+        for i in range(n):
+            assert digit(a, i) == digit(b, i)
+        if n < num_digits():
+            assert digit(a, n) != digit(b, n)
+
+
+class TestDistances:
+    def test_circular_distance_symmetric(self):
+        assert circular_distance(10, ID_SPACE - 10) == 20
+
+    def test_circular_shorter_way(self):
+        assert circular_distance(0, ID_SPACE // 2 + 1) == ID_SPACE // 2 - 1
+
+    def test_clockwise(self):
+        assert clockwise_distance(ID_SPACE - 5, 5) == 10
+        assert clockwise_distance(5, ID_SPACE - 5) == ID_SPACE - 10
+
+    @given(ids, ids)
+    @settings(max_examples=50, deadline=None)
+    def test_circular_is_min_of_clockwise(self, a, b):
+        assert circular_distance(a, b) == min(
+            clockwise_distance(a, b), clockwise_distance(b, a)
+        )
+        assert circular_distance(a, b) == circular_distance(b, a)
+
+    @given(ids, ids, ids)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert circular_distance(a, c) <= circular_distance(a, b) + circular_distance(b, c)
+
+
+class TestKeys:
+    def test_key_stable(self):
+        assert key_for("transcode") == key_for("transcode")
+
+    def test_key_in_range(self):
+        assert 0 <= key_for("anything") < ID_SPACE
+
+    def test_distinct_names_distinct_keys(self):
+        names = [f"F{i:03d}" for i in range(200)]
+        keys = {key_for(n) for n in names}
+        assert len(keys) == 200
+
+    def test_random_id_range_and_determinism(self):
+        r1 = random_id(np.random.default_rng(0))
+        r2 = random_id(np.random.default_rng(0))
+        assert r1 == r2
+        assert 0 <= r1 < ID_SPACE
+
+
+class TestClosestId:
+    def test_picks_nearest(self):
+        assert closest_id(100, [50, 90, 200]) == 90
+
+    def test_wraparound(self):
+        assert closest_id(ID_SPACE - 1, [0, ID_SPACE // 2]) == 0
+
+    def test_tie_breaks_to_smaller(self):
+        assert closest_id(100, [90, 110]) == 90
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            closest_id(1, [])
+
+    @given(ids, st.lists(ids, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_result_minimises_distance(self, key, cands):
+        best = closest_id(key, cands)
+        assert circular_distance(key, best) == min(
+            circular_distance(key, c) for c in cands
+        )
+
+
+class TestFormat:
+    def test_prefix_length(self):
+        s = format_id(0, prefix_digits=8)
+        assert s.startswith("00000000")
+
+    def test_full_length_no_ellipsis(self):
+        s = format_id(0, prefix_digits=32)
+        assert "…" not in s and len(s) == 32

@@ -1,0 +1,191 @@
+"""Unit tests for Pastry node state: leaf sets, routing tables, next-hop."""
+
+import pytest
+
+from repro.dht.id_space import ID_SPACE, circular_distance, digit, shared_prefix_len
+from repro.dht.node import LeafSet, PastryNodeState, RoutingTable
+
+
+def mkid(top_digits: str) -> int:
+    """Build an id from leading hex digits (rest zero)."""
+    val = int(top_digits, 16)
+    return val << (128 - 4 * len(top_digits))
+
+
+class TestLeafSet:
+    def test_add_splits_sides(self):
+        ls = LeafSet(owner_id=1000, half_size=2)
+        ls.add(1001)
+        ls.add(999)
+        assert 1001 in ls.larger and 999 in ls.smaller
+
+    def test_capacity_keeps_closest(self):
+        ls = LeafSet(owner_id=0, half_size=2)
+        for v in (10, 5, 20, 2):
+            ls.add(v)
+        assert ls.larger == [2, 5]
+
+    def test_owner_and_duplicates_ignored(self):
+        ls = LeafSet(owner_id=7, half_size=2)
+        ls.add(7)
+        ls.add(8)
+        ls.add(8)
+        assert ls.members() == [8]
+
+    def test_remove(self):
+        ls = LeafSet(owner_id=0, half_size=2)
+        ls.add(5)
+        ls.remove(5)
+        assert ls.members() == []
+        ls.remove(5)  # idempotent
+
+    def test_wraparound_sides(self):
+        ls = LeafSet(owner_id=5, half_size=2)
+        ls.add(ID_SPACE - 3)  # just counterclockwise of owner
+        assert ID_SPACE - 3 in ls.smaller
+
+    def test_covers_within_range(self):
+        ls = LeafSet(owner_id=100, half_size=2)
+        ls.add(90)
+        ls.add(110)
+        assert ls.covers(95)
+        assert ls.covers(105)
+        assert not ls.covers(500)
+
+    def test_closest_includes_owner(self):
+        ls = LeafSet(owner_id=100, half_size=2)
+        ls.add(90)
+        ls.add(110)
+        assert ls.closest(99) == 100
+        assert ls.closest(91) == 90
+
+    def test_bad_half_size(self):
+        with pytest.raises(ValueError):
+            LeafSet(0, half_size=0)
+
+
+class TestRoutingTable:
+    def test_slot_for_prefix(self):
+        owner = mkid("a0")
+        rt = RoutingTable(owner)
+        other = mkid("b0")
+        row, col = rt.slot_for(other)
+        assert row == 0 and col == 0xB
+
+    def test_slot_for_owner_none(self):
+        rt = RoutingTable(mkid("a0"))
+        assert rt.slot_for(mkid("a0")) is None
+
+    def test_consider_fills_empty_slot(self):
+        rt = RoutingTable(mkid("a0"))
+        assert rt.consider(mkid("b0"))
+        assert rt.get(0, 0xB) == mkid("b0")
+
+    def test_consider_keeps_incumbent_without_latency(self):
+        rt = RoutingTable(mkid("a0"))
+        first, second = mkid("b1"), mkid("b2")
+        rt.consider(first)
+        assert not rt.consider(second)
+        assert rt.get(0, 0xB) == first
+
+    def test_consider_prefers_lower_latency(self):
+        rt = RoutingTable(mkid("a0"))
+        near, far = mkid("b1"), mkid("b2")
+        lat = {near: 0.01, far: 0.5}
+        rt.consider(far, lat.get)
+        assert rt.consider(near, lat.get)
+        assert rt.get(0, 0xB) == near
+
+    def test_remove_only_matching(self):
+        rt = RoutingTable(mkid("a0"))
+        rt.consider(mkid("b0"))
+        rt.remove(mkid("b1"))  # same slot, different node: no-op
+        assert rt.get(0, 0xB) == mkid("b0")
+        rt.remove(mkid("b0"))
+        assert rt.get(0, 0xB) is None
+
+    def test_entries_and_row_entries(self):
+        rt = RoutingTable(mkid("a0"))
+        rt.consider(mkid("b0"))
+        rt.consider(mkid("a1"))  # shares 1 digit -> row 1
+        assert set(rt.entries()) == {mkid("b0"), mkid("a1")}
+        assert rt.row_entries(0) == [mkid("b0")]
+
+
+class TestNextHop:
+    def test_self_key_is_terminal(self):
+        state = PastryNodeState(mkid("a0"), peer=0)
+        assert state.next_hop(mkid("a0")) is None
+
+    def test_leaf_set_rule_delivers_to_closest(self):
+        owner = 1000
+        state = PastryNodeState(owner, peer=0, leaf_half=4)
+        for v in (990, 995, 1005, 1010):
+            state.learn(v)
+        # key 1004 is within leaf range; 1005 is closest
+        assert state.next_hop(1004) == 1005
+        # key 999 closest to 1000 (owner) -> terminal... 999 is closer to 995? |999-995|=4 vs |999-1000|=1
+        assert state.next_hop(999) is None
+
+    def test_prefix_rule_uses_routing_table(self):
+        owner = mkid("a000")
+        state = PastryNodeState(owner, peer=0, leaf_half=1)
+        target_region = mkid("b000")
+        state.learn(target_region)
+        far_key = mkid("b123")
+        hop = state.next_hop(far_key)
+        assert hop == target_region
+
+    def test_prefix_match_lengthens_hop_by_hop(self):
+        # routing from a000: slot (0, b) holds whoever was learned first;
+        # at that node, the next digit is resolved -> prefix grows per hop
+        owner = mkid("a000")
+        state = PastryNodeState(owner, peer=0, leaf_half=1)
+        coarse, fine = mkid("b000"), mkid("b100")
+        state.learn(coarse)
+        state.learn(fine)
+        key = mkid("b1ff")
+        first_hop = state.next_hop(key)
+        assert first_hop == coarse  # occupies slot (0, 0xb)
+        coarse_state = PastryNodeState(coarse, peer=1, leaf_half=1)
+        coarse_state.learn(fine)
+        second_hop = coarse_state.next_hop(key)
+        assert second_hop == fine  # slot (1, 0x1): one digit more matched
+        assert shared_prefix_len(second_hop, key) > shared_prefix_len(first_hop, key)
+
+    def test_exclude_forces_alternative(self):
+        owner = 1000
+        state = PastryNodeState(owner, peer=0, leaf_half=4)
+        state.learn(1005)
+        state.learn(1006)
+        first = state.next_hop(1005)
+        assert first == 1005
+        alt = state.next_hop(1005, exclude={1005})
+        assert alt == 1006
+
+    def test_rare_case_any_closer_node(self):
+        owner = mkid("a000")
+        state = PastryNodeState(owner, peer=0, leaf_half=1)
+        # no routing-table entry for digit 'b', but a known node with the
+        # same prefix length that is numerically closer to the key
+        closer = mkid("c000")
+        state.learn(closer)
+        state.routing_table.remove(closer)  # leave it only in the leaf set
+        key = mkid("b fff".replace(" ", ""))
+        hop = state.next_hop(key)
+        # must either terminate (owner closest) or move strictly closer
+        if hop is not None:
+            assert circular_distance(key, hop) < circular_distance(key, owner)
+
+    def test_forget_removes_everywhere(self):
+        state = PastryNodeState(mkid("a0"), peer=0)
+        other = mkid("b0")
+        state.learn(other)
+        assert other in state.known_nodes()
+        state.forget(other)
+        assert other not in state.known_nodes()
+
+    def test_learn_self_is_noop(self):
+        state = PastryNodeState(mkid("a0"), peer=0)
+        state.learn(mkid("a0"))
+        assert state.known_nodes() == set()

@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Marked slow (each example builds a full topology + middleware stack);
+run with ``pytest -m slow tests/test_examples.py`` or as part of the
+default suite — total runtime is tens of seconds.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{example.name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{example.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "video_streaming",
+        "churn_resilience",
+        "dag_commutation",
+        "secure_composition",
+    } <= names

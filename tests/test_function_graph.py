@@ -1,0 +1,214 @@
+"""Unit + property tests for function graphs, commutations, patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.function_graph import FunctionGraph, FunctionGraphError
+
+
+class TestConstruction:
+    def test_linear_chain(self):
+        fg = FunctionGraph.linear(["a", "b", "c"])
+        assert fg.sources() == ("a",)
+        assert fg.sinks() == ("c",)
+        assert fg.successors("a") == ("b",)
+        assert fg.predecessors("c") == ("b",)
+        assert fg.is_linear()
+
+    def test_single_function(self):
+        fg = FunctionGraph.linear(["only"])
+        assert fg.sources() == fg.sinks() == ("only",)
+        assert len(fg) == 1
+
+    def test_diamond_dag(self):
+        fg = FunctionGraph.from_edges(
+            "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        assert not fg.is_linear()
+        assert fg.sources() == ("a",) and fg.sinks() == ("d",)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.from_edges("ab", [("a", "b"), ("b", "a")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.from_edges("ab", [("a", "a"), ("a", "b")])
+
+    def test_unknown_function_in_edge_rejected(self):
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.from_edges("ab", [("a", "z")])
+
+    def test_duplicate_functions_rejected(self):
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.from_edges(["a", "a"], [("a", "a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.from_edges([], [])
+
+    def test_isolated_function_rejected(self):
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.from_edges("abc", [("a", "b")])
+
+
+class TestTopologicalOrder:
+    def test_linear_order(self):
+        fg = FunctionGraph.linear(["x", "y", "z"])
+        assert fg.topological_order() == ["x", "y", "z"]
+
+    def test_dag_order_respects_edges(self):
+        fg = FunctionGraph.from_edges(
+            "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        order = fg.topological_order()
+        for a, b in fg.edges:
+            assert order.index(a) < order.index(b)
+
+
+class TestBranches:
+    def test_linear_single_branch(self):
+        fg = FunctionGraph.linear(["a", "b", "c"])
+        assert fg.branches() == [("a", "b", "c")]
+
+    def test_diamond_two_branches(self):
+        fg = FunctionGraph.from_edges(
+            "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        assert fg.branches() == [("a", "b", "d"), ("a", "c", "d")]
+
+    def test_every_function_on_some_branch(self):
+        fg = FunctionGraph.from_edges(
+            "abcde",
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "e")],
+        )
+        covered = {f for branch in fg.branches() for f in branch}
+        assert covered == set(fg.functions)
+
+
+class TestCommutation:
+    def chain_with_pair(self):
+        return FunctionGraph.linear(["a", "b", "c", "d"], [("b", "c")])
+
+    def test_valid_pair_accepted(self):
+        fg = self.chain_with_pair()
+        assert fg.commutation_partner("b") == "c"
+        assert fg.commutation_partner("a") is None
+
+    def test_non_adjacent_pair_rejected(self):
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.linear(["a", "b", "c", "d"], [("a", "c")])
+
+    def test_fan_out_upstream_pair_rejected(self):
+        # a has two successors: "exchange the order of a and b" is
+        # ill-defined (which branch would come first?)
+        with pytest.raises(FunctionGraphError):
+            FunctionGraph.from_edges(
+                "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], [("a", "b")]
+            )
+
+    def test_fan_out_downstream_of_pair_allowed(self):
+        # b fans out *after* the pair: the swap is still well-defined
+        # (b's branches re-root at a)
+        fg = FunctionGraph.from_edges(
+            "abcd", [("a", "b"), ("b", "c"), ("b", "d")], [("a", "b")]
+        )
+        swapped = fg.swap("a", "b")
+        assert ("b", "a") in swapped.edges
+        assert ("a", "c") in swapped.edges and ("a", "d") in swapped.edges
+
+    def test_swap_reverses_order(self):
+        fg = self.chain_with_pair()
+        swapped = fg.swap("b", "c")
+        assert ("a", "c") in swapped.edges
+        assert ("c", "b") in swapped.edges
+        assert ("b", "d") in swapped.edges
+        assert swapped.topological_order() == ["a", "c", "b", "d"]
+
+    def test_swap_non_adjacent_rejected(self):
+        fg = self.chain_with_pair()
+        with pytest.raises(FunctionGraphError):
+            fg.swap("a", "c")
+
+    def test_swap_at_chain_head(self):
+        fg = FunctionGraph.linear(["a", "b", "c"], [("a", "b")])
+        swapped = fg.swap("a", "b")
+        assert swapped.sources() == ("b",)
+        assert swapped.topological_order() == ["b", "a", "c"]
+
+    def test_swap_at_chain_tail(self):
+        fg = FunctionGraph.linear(["a", "b", "c"], [("b", "c")])
+        swapped = fg.swap("b", "c")
+        assert swapped.sinks() == ("b",)
+
+    def test_ordered_pair(self):
+        fg = self.chain_with_pair()
+        assert fg.ordered_pair(frozenset({"b", "c"})) == ("b", "c")
+        swapped = fg.swap("b", "c")
+        assert swapped.ordered_pair(frozenset({"b", "c"})) == ("c", "b")
+
+
+class TestCompositionPatterns:
+    def test_no_commutation_single_pattern(self):
+        fg = FunctionGraph.linear(["a", "b", "c"])
+        patterns = fg.composition_patterns()
+        assert len(patterns) == 1
+        assert patterns[0][0] == frozenset()
+
+    def test_one_pair_two_patterns(self):
+        fg = FunctionGraph.linear(["a", "b", "c"], [("b", "c")])
+        patterns = fg.composition_patterns()
+        assert len(patterns) == 2
+        orders = {tuple(p.topological_order()) for _, p in patterns}
+        assert orders == {("a", "b", "c"), ("a", "c", "b")}
+
+    def test_two_disjoint_pairs_four_patterns(self):
+        fg = FunctionGraph.linear(
+            ["a", "b", "c", "d", "e"], [("a", "b"), ("c", "d")]
+        )
+        patterns = fg.composition_patterns()
+        assert len(patterns) == 4
+
+    def test_max_patterns_cap(self):
+        fg = FunctionGraph.linear(
+            ["a", "b", "c", "d", "e"], [("a", "b"), ("c", "d")]
+        )
+        assert len(fg.composition_patterns(max_patterns=3)) == 3
+
+    def test_original_pattern_first(self):
+        fg = FunctionGraph.linear(["a", "b", "c"], [("b", "c")])
+        applied, first = fg.composition_patterns()[0]
+        assert applied == frozenset()
+        assert first.edges == fg.edges
+
+    def test_patterns_preserve_function_set(self):
+        fg = FunctionGraph.linear(["a", "b", "c", "d"], [("b", "c")])
+        for _, p in fg.composition_patterns():
+            assert set(p.functions) == set(fg.functions)
+            p.validate()
+
+
+@st.composite
+def random_chain(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [f"f{i}" for i in range(n)]
+
+
+class TestProperties:
+    @given(random_chain())
+    @settings(max_examples=30, deadline=None)
+    def test_linear_graph_invariants(self, fns):
+        fg = FunctionGraph.linear(fns)
+        assert fg.topological_order() == fns
+        assert fg.branches() == [tuple(fns)]
+        assert len(fg.edges) == len(fns) - 1
+
+    @given(st.integers(min_value=3, max_value=7), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_swap_is_involution(self, n, pos):
+        fns = [f"f{i}" for i in range(n)]
+        i = min(pos, n - 2)
+        fg = FunctionGraph.linear(fns, [(fns[i], fns[i + 1])])
+        twice = fg.swap(fns[i], fns[i + 1]).swap(fns[i + 1], fns[i])
+        assert twice.edges == fg.edges

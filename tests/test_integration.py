@@ -1,0 +1,99 @@
+"""End-to-end integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpiderNet
+from repro.core.bcp import BCPConfig
+from repro.core.session import RecoveryConfig
+from repro.workload.generator import RequestConfig
+from repro.workload.scenarios import planetlab_testbed, simulation_testbed
+
+
+class TestFullPipeline:
+    def test_compose_many_requests_invariants_hold(self):
+        sc = simulation_testbed(n_ip=150, n_peers=25, n_functions=10, seed=4)
+        successes = 0
+        for _ in range(20):
+            result = sc.net.compose(sc.requests.next_request(), budget=24)
+            if result.success:
+                successes += 1
+            sc.net.pool.check_invariants()
+        assert successes > 0
+        assert sc.net.pool.active_tokens() == []
+
+    def test_sessions_under_churn_full_stack(self):
+        sc = simulation_testbed(
+            n_ip=150, n_peers=30, n_functions=10,
+            request_config=RequestConfig(function_count=(2, 3), duration_mean=50.0),
+            bcp_config=BCPConfig(budget=32),
+            recovery_config=RecoveryConfig(upper_bound=2.0),
+            churn_rate=0.05, churn_downtime=5.0, protected_endpoints=6, seed=4,
+        )
+        for _ in range(8):
+            sc.net.sessions.establish(sc.requests.next_request())
+        sc.net.start_churn()
+        sc.net.run(until=20.0)
+        stats = sc.net.sessions.stats
+        assert stats.sessions_established > 0
+        sc.net.pool.check_invariants()
+        # every closed/failed session released its claims; active ones hold
+        active_tokens = set(sc.net.pool.active_tokens())
+        for s in sc.net.sessions.sessions.values():
+            if s.active:
+                assert set(s.tokens) <= active_tokens
+
+    def test_planetlab_pipeline_with_dag_and_commutation(self):
+        sc = planetlab_testbed(
+            n_peers=40,
+            request_config=RequestConfig(
+                function_count=(4, 4), dag_probability=0.5,
+                commutation_probability=0.5, qos_tightness=3.0,
+            ),
+            seed=4,
+        )
+        successes = 0
+        for _ in range(10):
+            result = sc.net.compose(sc.requests.next_request(), budget=48)
+            if result.success:
+                successes += 1
+                result.best.pattern.validate()
+        assert successes > 0
+
+    def test_ledger_accumulates_across_layers(self):
+        sc = simulation_testbed(n_ip=150, n_peers=20, n_functions=8, seed=4)
+        sc.net.compose(sc.requests.next_request(), budget=16)
+        counts = sc.net.ledger.count
+        assert counts.get("bcp_probe", 0) > 0
+        assert counts.get("dht_route", 0) + counts.get("dht_replicate", 0) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        results = []
+        for _ in range(2):
+            sc = simulation_testbed(n_ip=150, n_peers=20, n_functions=8, seed=11)
+            out = []
+            for _ in range(5):
+                r = sc.net.compose(sc.requests.next_request(), budget=16)
+                out.append(
+                    (r.success, r.probes_sent,
+                     r.best_qos.get("delay") if r.best_qos else None)
+                )
+            results.append(out)
+        assert results[0] == results[1]
+
+    def test_different_seed_different_topology(self):
+        a = simulation_testbed(n_ip=150, n_peers=20, n_functions=8, seed=1)
+        b = simulation_testbed(n_ip=150, n_peers=20, n_functions=8, seed=2)
+        assert sorted(a.overlay.graph.edges) != sorted(b.overlay.graph.edges)
+
+
+class TestScaleSmoke:
+    @pytest.mark.slow
+    def test_paper_scale_structures_build(self):
+        """1000 IP nodes / 100 peers build in reasonable time."""
+        sc = simulation_testbed(n_ip=1000, n_peers=100, n_functions=25, seed=0)
+        assert sc.net.dht.alive_count() == 100
+        result = sc.net.compose(sc.requests.next_request(), budget=32)
+        assert result is not None

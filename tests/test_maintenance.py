@@ -1,0 +1,155 @@
+"""Tests for live overlay views and churn repair."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.maintenance import LiveOverlayView, OverlayMaintainer, PartitionError
+from repro.topology.overlay import Overlay
+from repro.topology.routing import OverlayRouter
+
+
+def line_overlay(n=6, unit=0.01):
+    """A path graph 0-1-2-...-(n-1): every interior peer is a cut vertex."""
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, delay=unit, bandwidth=10.0, loss_add=0.0001)
+    return Overlay(graph=g, router=OverlayRouter(g), kind="line")
+
+
+class World:
+    def __init__(self, overlay):
+        self.overlay = overlay
+        self.dead = set()
+        self.view = LiveOverlayView(overlay, alive=lambda p: p not in self.dead)
+
+    def kill(self, peer):
+        self.dead.add(peer)
+        self.view.invalidate()
+
+    def revive(self, peer):
+        self.dead.discard(peer)
+        self.view.invalidate()
+
+
+class TestLiveOverlayView:
+    def test_matches_static_when_all_alive(self):
+        w = World(line_overlay())
+        assert w.view.latency(0, 5) == pytest.approx(w.overlay.latency(0, 5))
+
+    def test_dead_relay_partitions(self):
+        w = World(line_overlay())
+        w.kill(3)
+        with pytest.raises(PartitionError):
+            w.view.latency(0, 5)
+        assert w.view.reachable(0, 2)
+        assert not w.view.reachable(2, 4)
+
+    def test_dead_endpoint_raises(self):
+        w = World(line_overlay())
+        w.kill(0)
+        with pytest.raises(PartitionError):
+            w.view.latency(0, 5)
+
+    def test_revival_heals(self):
+        w = World(line_overlay())
+        w.kill(3)
+        assert not w.view.reachable(0, 5)
+        w.revive(3)
+        assert w.view.reachable(0, 5)
+
+    def test_components_split_and_merge(self):
+        w = World(line_overlay())
+        assert len(w.view.components()) == 1
+        w.kill(3)
+        assert len(w.view.components()) == 2
+        w.view.add_link(2, 4, delay=0.05)
+        assert len(w.view.components()) == 1
+
+    def test_repair_link_used_for_routing(self):
+        w = World(line_overlay())
+        w.kill(3)
+        w.view.add_link(2, 4, delay=0.05)
+        # 0-1-2 ~ 4-5 through the repair link
+        assert w.view.latency(0, 5) == pytest.approx(2 * 0.01 + 0.05 + 0.01)
+
+    def test_self_latency_zero(self):
+        w = World(line_overlay())
+        assert w.view.latency(2, 2) == 0.0
+
+    def test_self_link_rejected(self):
+        w = World(line_overlay())
+        with pytest.raises(ValueError):
+            w.view.add_link(2, 2, delay=0.01)
+
+    def test_isolated_peers(self):
+        w = World(line_overlay())
+        w.kill(1)
+        assert w.view.isolated_peers() == [0]
+
+
+class TestOverlayMaintainer:
+    def test_heals_partition(self):
+        w = World(line_overlay())
+        maintainer = OverlayMaintainer(w.view, min_degree=1)
+        w.kill(3)
+        assert not w.view.reachable(0, 5)
+        added = maintainer.repair()
+        assert added >= 1
+        assert w.view.reachable(0, 5)
+        assert len(w.view.components()) == 1
+
+    def test_restores_min_degree(self):
+        w = World(line_overlay(8))
+        maintainer = OverlayMaintainer(w.view, min_degree=2)
+        w.kill(1)  # peer 0 loses its only neighbour
+        maintainer.repair()
+        assert maintainer.live_degree(0) >= 2
+        for p in range(8):
+            if p not in w.dead:
+                assert maintainer.live_degree(p) >= 2
+
+    def test_repair_idempotent(self):
+        w = World(line_overlay())
+        maintainer = OverlayMaintainer(w.view, min_degree=2)
+        w.kill(3)
+        maintainer.repair()
+        assert maintainer.repair() == 0  # nothing left to fix
+
+    def test_repair_charges_ledger(self):
+        w = World(line_overlay())
+        maintainer = OverlayMaintainer(w.view, min_degree=2)
+        w.kill(3)
+        maintainer.repair()
+        assert maintainer.ledger.count["overlay_repair"] >= 1
+
+    def test_prefers_nearest_candidates(self):
+        w = World(line_overlay(6))
+        maintainer = OverlayMaintainer(w.view, min_degree=2)
+        w.kill(1)
+        maintainer.repair()
+        # peer 0's new neighbour should be the closest live peer (2),
+        # not something across the line
+        repair_partners = {
+            (v if u == 0 else u)
+            for u, v in w.view.repair_links()
+            if 0 in (u, v)
+        }
+        assert 2 in repair_partners
+
+    def test_survives_mass_failure(self):
+        w = World(line_overlay(10))
+        maintainer = OverlayMaintainer(w.view, min_degree=2)
+        for p in (1, 3, 5, 7):
+            w.kill(p)
+        maintainer.repair()
+        live = [p for p in range(10) if p not in w.dead]
+        for a in live:
+            for b in live:
+                assert w.view.reachable(a, b)
+
+    def test_min_degree_validated(self):
+        w = World(line_overlay())
+        with pytest.raises(ValueError):
+            OverlayMaintainer(w.view, min_degree=0)

@@ -1,0 +1,106 @@
+"""Unit tests for probe message mechanics."""
+
+import pytest
+
+from repro.core.function_graph import FunctionGraph
+from repro.core.probe import Probe
+from repro.core.qos import QoSRequirement, QoSVector
+from repro.core.request import CompositeRequest
+from repro.core.resources import ResourceVector
+from repro.discovery.metadata import ServiceMetadata
+from repro.services.component import QualitySpec
+
+
+def meta(cid, fn, peer, bw_factor=1.0):
+    return ServiceMetadata(
+        component_id=cid,
+        function=fn,
+        peer=peer,
+        qp=QoSVector({"delay": 0.01, "loss": 0.0}),
+        resources=ResourceVector({"cpu": 1.0}),
+        input_quality=QualitySpec(),
+        output_quality=QualitySpec(),
+        bandwidth_factor=bw_factor,
+    )
+
+
+@pytest.fixture
+def request_obj():
+    return CompositeRequest.create(
+        function_graph=FunctionGraph.linear(["a", "b"]),
+        qos=QoSRequirement({"delay": 1.0, "loss": 0.1}),
+        source_peer=0,
+        dest_peer=9,
+        bandwidth=2.0,
+    )
+
+
+class TestInitialProbe:
+    def test_initial_state(self, request_obj):
+        p = Probe.initial(request_obj, budget=16)
+        assert p.current_peer == 0
+        assert p.branch == ()
+        assert p.current_function is None
+        assert p.budget == 16
+        assert p.out_bandwidth == 2.0
+        assert p.qos.get("delay") == 0.0
+        assert not p.at_sink
+
+    def test_negative_budget_rejected(self, request_obj):
+        with pytest.raises(ValueError):
+            Probe.initial(request_obj, budget=-1)
+
+
+class TestSpawn:
+    def test_spawn_advances_branch_and_peer(self, request_obj):
+        root = Probe.initial(request_obj, 16)
+        m = meta(1, "a", peer=3)
+        child = root.spawn(
+            "a", m, root.graph, root.applied_swaps,
+            QoSVector({"delay": 0.05, "loss": 0.0}), budget=4, elapsed=0.1,
+        )
+        assert child.branch == ("a",)
+        assert child.current_peer == 3
+        assert child.current_function == "a"
+        assert child.budget == 4
+        assert child.hops == 1
+        assert child.assignment["a"].component_id == 1
+        assert child.probe_id != root.probe_id
+
+    def test_bandwidth_factor_compounds(self, request_obj):
+        root = Probe.initial(request_obj, 16)
+        child = root.spawn(
+            "a", meta(1, "a", 3, bw_factor=0.5), root.graph, root.applied_swaps,
+            QoSVector({"delay": 0.0, "loss": 0.0}), 4, 0.0,
+        )
+        assert child.out_bandwidth == pytest.approx(1.0)
+
+    def test_parent_assignment_not_mutated(self, request_obj):
+        root = Probe.initial(request_obj, 16)
+        root.spawn(
+            "a", meta(1, "a", 3), root.graph, root.applied_swaps,
+            QoSVector({"delay": 0.0, "loss": 0.0}), 4, 0.0,
+        )
+        assert root.assignment == {}
+
+    def test_at_sink_after_last_function(self, request_obj):
+        root = Probe.initial(request_obj, 16)
+        a = root.spawn("a", meta(1, "a", 3), root.graph, root.applied_swaps,
+                       QoSVector({"delay": 0, "loss": 0}), 4, 0.0)
+        assert not a.at_sink
+        b = a.spawn("b", meta(2, "b", 4), a.graph, a.applied_swaps,
+                    QoSVector({"delay": 0, "loss": 0}), 2, 0.0)
+        assert b.at_sink
+        assert b.last_component().component_id == 2
+
+
+class TestArrival:
+    def test_arrived_moves_to_destination(self, request_obj):
+        root = Probe.initial(request_obj, 16)
+        a = root.spawn("a", meta(1, "a", 3), root.graph, root.applied_swaps,
+                       QoSVector({"delay": 0, "loss": 0}), 4, 0.0)
+        done = a.arrived(QoSVector({"delay": 0.2, "loss": 0.0}), elapsed=0.5)
+        assert done.current_peer == 9
+        assert done.qos.get("delay") == 0.2
+        assert done.elapsed == 0.5
+        assert done.branch == ("a",)  # branch unchanged by the final hop

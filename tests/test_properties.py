@@ -1,0 +1,166 @@
+"""Cross-module property-based tests: protocol invariants over random worlds.
+
+These generate random miniature deployments and check the invariants
+that must hold for *any* input — the properties the unit tests check
+pointwise:
+
+* BCP never leaks resource reservations, regardless of outcome;
+* the probing budget bounds the candidates examined;
+* a successful composition satisfies the request it was built for;
+* composition is deterministic given the world;
+* DHT routing always terminates at the ground-truth responsible node,
+  under arbitrary key/origin choices and node deaths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bcp import BCPConfig
+from repro.core.function_graph import FunctionGraph
+from repro.dht.id_space import ID_SPACE, key_for
+
+from worlds import MicroWorld
+
+
+@st.composite
+def world_and_request(draw):
+    """A random miniature deployment plus a request over it."""
+    n_functions = draw(st.integers(min_value=1, max_value=3))
+    budget = draw(st.integers(min_value=1, max_value=48))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    world = MicroWorld(
+        n_peers=8,
+        cpu=float(rng.uniform(40, 120)),
+        seed=seed,
+        config=BCPConfig(budget=budget),
+    )
+    fns = [f"f{i}" for i in range(n_functions)]
+    for fn in fns:
+        for _ in range(int(rng.integers(1, 4))):
+            world.place(
+                fn,
+                peer=int(rng.integers(2, 7)),
+                delay=float(rng.uniform(0.001, 0.1)),
+                cpu=float(rng.uniform(5, 35)),
+            )
+    tightness = draw(st.sampled_from([0.15, 0.6, 3.0]))  # tight/medium/loose
+    request = world.request(
+        FunctionGraph.linear(fns),
+        source=0,
+        dest=7,
+        delay_bound=tightness,
+        bandwidth=float(rng.uniform(0.1, 2.0)),
+    )
+    return world, request, budget
+
+
+class TestBcpInvariants:
+    @given(world_and_request())
+    @settings(max_examples=25, deadline=None)
+    def test_no_reservation_leaks(self, wr):
+        world, request, budget = wr
+        result = world.bcp.compose(request, budget=budget, confirm=False)
+        assert world.pool.active_tokens() == []
+        world.pool.check_invariants()
+        for peer in world.overlay.peers():
+            # everything returned to full capacity
+            assert world.pool.available(peer).get("cpu") == pytest.approx(
+                world.pool.capacity(peer).get("cpu")
+            )
+
+    @given(world_and_request())
+    @settings(max_examples=25, deadline=None)
+    def test_budget_bounds_candidates(self, wr):
+        world, request, budget = wr
+        result = world.bcp.compose(request, budget=budget, confirm=False)
+        assert result.candidates_examined <= max(budget, 1)
+
+    @given(world_and_request())
+    @settings(max_examples=25, deadline=None)
+    def test_success_implies_valid_graph(self, wr):
+        world, request, budget = wr
+        result = world.bcp.compose(request, budget=budget, confirm=False)
+        if not result.success:
+            return
+        graph = result.best
+        assert set(graph.assignment) == set(request.function_graph.functions)
+        qos = graph.end_to_end_qos(world.overlay)
+        assert request.qos.satisfied_by(qos)
+        # the reported QoS matches a fresh evaluation
+        for metric, value in result.best_qos.values.items():
+            assert qos.values[metric] == pytest.approx(value)
+
+    @given(world_and_request())
+    @settings(max_examples=15, deadline=None)
+    def test_composition_is_deterministic(self, wr):
+        world, request, budget = wr
+        r1 = world.bcp.compose(request, budget=budget, confirm=False)
+        r2 = world.bcp.compose(request, budget=budget, confirm=False)
+        assert r1.success == r2.success
+        assert r1.candidates_examined == r2.candidates_examined
+        if r1.success:
+            assert r1.best.signature() == r2.best.signature()
+
+    @given(world_and_request())
+    @settings(max_examples=15, deadline=None)
+    def test_confirm_then_release_restores_world(self, wr):
+        world, request, budget = wr
+        result = world.bcp.compose(request, budget=budget, confirm=True)
+        if result.success:
+            assert result.session_tokens
+            for token in result.session_tokens:
+                world.pool.release(token)
+        assert world.pool.active_tokens() == []
+        world.pool.check_invariants()
+
+
+class TestDhtInvariants:
+    @given(
+        st.integers(min_value=0, max_value=2**20),
+        st.lists(st.integers(min_value=0, max_value=ID_SPACE - 1), min_size=1, max_size=8),
+        st.sets(st.integers(min_value=0, max_value=7), max_size=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_routing_reaches_responsible_under_deaths(self, seed, keys, deaths):
+        world = MicroWorld(n_peers=8, seed=seed)
+        for peer in deaths:
+            world.kill(peer)
+        alive_peers = [p for p in range(8) if p not in world.dead]
+        if not alive_peers:
+            return
+        origin = alive_peers[0]
+        for key in keys:
+            result = world.dht.route(key, origin_peer=origin)
+            assert result.responsible_node == world.dht.responsible_node(key)
+            assert world.dht.is_alive(result.responsible_node)
+
+    @given(st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_put_get_round_trip(self, names):
+        world = MicroWorld(n_peers=8, seed=1)
+        for i, name in enumerate(names):
+            world.dht.put(key_for(name), f"value-{i}", origin_peer=i % 8)
+        for i, name in enumerate(names):
+            values, _ = world.dht.get(key_for(name), origin_peer=(i + 3) % 8)
+            assert f"value-{i}" in values
+
+
+class TestQuotaBudgetLaws:
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arrivals_monotone_in_replication(self, budget, n_functions, replicas):
+        """More replicas never reduce the best achievable count bound."""
+        from repro.core.quota import ReplicationProportionalQuota, split_budget
+
+        policy = ReplicationProportionalQuota(fraction=1.0, cap=10**6)
+        # per-hop spawn count with full knowledge
+        i_k = min(budget, policy("f", replicas), replicas)
+        assert 1 <= i_k <= replicas
+        assert i_k <= budget

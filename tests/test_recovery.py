@@ -1,0 +1,191 @@
+"""Unit + property tests for backup-count (Eq. 2) and backup selection (§5.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.function_graph import FunctionGraph
+from repro.core.qos import QoSRequirement, QoSVector
+from repro.core.recovery import backup_count, bottleneck_order, select_backups
+from repro.core.resources import ResourceVector
+from repro.core.selection import CandidateGraph
+from repro.core.service_graph import ServiceGraph
+from repro.discovery.metadata import ServiceMetadata
+from repro.services.component import QualitySpec
+
+
+def meta(cid, fn, peer):
+    return ServiceMetadata(
+        component_id=cid,
+        function=fn,
+        peer=peer,
+        qp=QoSVector({"delay": 0.01, "loss": 0.0}),
+        resources=ResourceVector({"cpu": 10.0}),
+        input_quality=QualitySpec(),
+        output_quality=QualitySpec(),
+    )
+
+
+def sg(assignment_ids, peers):
+    """Linear 3-function graph from (component ids, peers)."""
+    fg = FunctionGraph.linear(["fa", "fb", "fc"])
+    assignment = {
+        fn: meta(cid, fn, peer)
+        for fn, cid, peer in zip(["fa", "fb", "fc"], assignment_ids, peers)
+    }
+    return ServiceGraph(fg, assignment, source_peer=0, dest_peer=1)
+
+
+def cand(assignment_ids, peers, cost=1.0):
+    return CandidateGraph(
+        graph=sg(assignment_ids, peers),
+        qos=QoSVector({"delay": 0.1, "loss": 0.0}),
+        cost=cost,
+    )
+
+
+class TestBackupCountEq2:
+    def test_paper_formula_hand_case(self):
+        # Σ q/qreq = 0.5 + 0.5 = 1.0; F/Freq = 0.05/0.05 = 1.0; U = 1
+        qos = QoSVector({"delay": 0.5, "loss": 0.25})
+        req = QoSRequirement({"delay": 1.0, "loss": 0.5})
+        gamma = backup_count(qos, req, failure_prob=0.05, failure_req=0.05,
+                             n_qualified=10, upper_bound=1.0)
+        assert gamma == math.floor(1.0 * (1.0 + 1.0)) == 2
+
+    def test_capped_by_c_minus_one(self):
+        qos = QoSVector({"delay": 0.9})
+        req = QoSRequirement({"delay": 1.0})
+        gamma = backup_count(qos, req, 0.5, 0.01, n_qualified=3, upper_bound=5.0)
+        assert gamma == 2
+
+    def test_better_qos_fewer_backups(self):
+        req = QoSRequirement({"delay": 1.0})
+        good = backup_count(QoSVector({"delay": 0.1}), req, 0.01, 0.05, 100, 2.0)
+        bad = backup_count(QoSVector({"delay": 0.9}), req, 0.01, 0.05, 100, 2.0)
+        assert good <= bad
+
+    def test_higher_failure_more_backups(self):
+        req = QoSRequirement({"delay": 1.0})
+        qos = QoSVector({"delay": 0.5})
+        low = backup_count(qos, req, 0.01, 0.05, 100, 2.0)
+        high = backup_count(qos, req, 0.20, 0.05, 100, 2.0)
+        assert high > low
+
+    def test_single_qualified_graph_no_backups(self):
+        gamma = backup_count(
+            QoSVector({"delay": 0.5}), QoSRequirement({"delay": 1.0}),
+            0.5, 0.05, n_qualified=1,
+        )
+        assert gamma == 0
+
+    def test_validation(self):
+        qos, req = QoSVector({"delay": 0.5}), QoSRequirement({"delay": 1.0})
+        with pytest.raises(ValueError):
+            backup_count(qos, req, 0.5, 0.05, n_qualified=0)
+        with pytest.raises(ValueError):
+            backup_count(qos, req, 1.5, 0.05, n_qualified=5)
+        with pytest.raises(ValueError):
+            backup_count(qos, req, 0.5, 0.0, n_qualified=5)
+        with pytest.raises(ValueError):
+            backup_count(qos, req, 0.5, 0.05, n_qualified=5, upper_bound=-1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gamma_bounds_and_monotonicity(self, q, f, freq, c, u):
+        req = QoSRequirement({"delay": 1.0})
+        gamma = backup_count(QoSVector({"delay": q}), req, f, freq, c, u)
+        assert 0 <= gamma <= c - 1
+        # worse QoS never decreases gamma
+        worse = backup_count(QoSVector({"delay": min(q + 0.3, 1.3)}), req, f, freq, c, u)
+        assert worse >= gamma
+
+
+class TestBottleneckOrder:
+    def test_sorted_by_failure_probability(self):
+        graph = sg([1, 2, 3], [10, 11, 12])
+        probs = {10: 0.1, 11: 0.5, 12: 0.3}
+        order = bottleneck_order(graph, lambda p: probs[p])
+        assert order == [2, 3, 1]
+
+    def test_tie_breaks_by_component_id(self):
+        graph = sg([3, 1, 2], [10, 11, 12])
+        order = bottleneck_order(graph, lambda p: 0.1)
+        assert order == [1, 2, 3]
+
+
+class TestSelectBackups:
+    def test_zero_count_empty(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        assert select_backups(current, [cand([4, 5, 6], [13, 14, 15])], 0, lambda p: 0.1) == []
+
+    def test_current_graph_never_selected(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        pool = [cand([1, 2, 3], [10, 11, 12]), cand([4, 5, 6], [13, 14, 15])]
+        out = select_backups(current, pool, 2, lambda p: 0.1)
+        assert len(out) == 1
+        assert out[0].graph.component_ids() == frozenset({4, 5, 6})
+
+    def test_backup_excludes_bottleneck_peer(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        probs = {10: 0.9, 11: 0.1, 12: 0.1, 13: 0.1, 14: 0.1, 15: 0.1}
+        shares_bottleneck = cand([7, 2, 3], [10, 11, 12])  # still uses peer 10
+        avoids_bottleneck = cand([8, 2, 3], [13, 11, 12])
+        out = select_backups(
+            current, [shares_bottleneck, avoids_bottleneck], 1, lambda p: probs.get(p, 0.1)
+        )
+        assert out[0] is avoids_bottleneck
+
+    def test_max_overlap_preferred(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        probs = {10: 0.9}
+        low_overlap = cand([7, 8, 9], [13, 14, 15])
+        high_overlap = cand([7, 2, 3], [13, 11, 12])  # shares components 2, 3
+        out = select_backups(
+            current, [low_overlap, high_overlap], 1, lambda p: probs.get(p, 0.1)
+        )
+        assert out[0] is high_overlap
+
+    def test_component_level_exclusion_mode(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        # co-hosted different component on the bottleneck peer: allowed
+        # under component-level exclusion, not under peer-level
+        cohosted = cand([7, 2, 3], [10, 11, 12])
+        out_peer = select_backups(current, [cohosted], 1, lambda p: 0.1, exclude_by="peer")
+        out_comp = select_backups(current, [cohosted], 1, lambda p: 0.1, exclude_by="component")
+        assert out_peer == []
+        assert out_comp == [cohosted]
+
+    def test_unknown_exclusion_mode_rejected(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        with pytest.raises(ValueError):
+            select_backups(current, [], 1, lambda p: 0.1, exclude_by="magic")
+
+    def test_count_respected(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        pool = [cand([4 + i, 50 + i, 60 + i], [13 + i, 20 + i, 30 + i]) for i in range(6)]
+        out = select_backups(current, pool, 3, lambda p: 0.1)
+        assert len(out) == 3
+        sigs = {c.graph.signature() for c in out}
+        assert len(sigs) == 3  # distinct backups
+
+    def test_multi_failure_subsets_cover_pairs(self):
+        """With enough budget, later backups exclude *pairs* of peers."""
+        current = sg([1, 2, 3], [10, 11, 12])
+        fully_disjoint = cand([4, 5, 6], [13, 14, 15])
+        excl_first = cand([7, 2, 3], [16, 11, 12])
+        pool = [excl_first, fully_disjoint]
+        out = select_backups(current, pool, 2, lambda p: 0.1)
+        assert len(out) == 2
+
+    def test_empty_pool(self):
+        current = sg([1, 2, 3], [10, 11, 12])
+        assert select_backups(current, [], 3, lambda p: 0.1) == []

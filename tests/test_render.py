@@ -1,0 +1,77 @@
+"""Tests for terminal renderings of graphs."""
+
+import pytest
+
+from repro.core.function_graph import FunctionGraph
+from repro.core.qos import QoSVector
+from repro.core.render import (
+    describe_composition,
+    render_function_graph,
+    render_service_graph,
+)
+from repro.core.resources import ResourceVector
+from repro.core.service_graph import ServiceGraph
+from repro.discovery.metadata import ServiceMetadata
+from repro.services.component import QualitySpec
+
+from worlds import micro_overlay
+
+
+def meta(cid, fn, peer):
+    return ServiceMetadata(
+        component_id=cid, function=fn, peer=peer,
+        qp=QoSVector({"delay": 0.01, "loss": 0.0}),
+        resources=ResourceVector({"cpu": 5.0}),
+        input_quality=QualitySpec(), output_quality=QualitySpec(),
+    )
+
+
+class TestRenderFunctionGraph:
+    def test_linear_chain(self):
+        fg = FunctionGraph.linear(["downscale", "ticker"])
+        out = render_function_graph(fg)
+        assert out == "[downscale] ──▶ [ticker]"
+
+    def test_dag_one_line_per_branch(self):
+        fg = FunctionGraph.from_edges(
+            "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        out = render_function_graph(fg)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert all(l.startswith("[a]") and l.endswith("[d]") for l in lines)
+
+    def test_commutation_marked(self):
+        fg = FunctionGraph.linear(["a", "b", "c"], [("b", "c")])
+        out = render_function_graph(fg)
+        assert "~▶" in out
+
+    def test_single_function(self):
+        assert render_function_graph(FunctionGraph.linear(["f"])) == "[f]"
+
+
+class TestRenderServiceGraph:
+    def graph(self):
+        fg = FunctionGraph.linear(["fa", "fb"])
+        return ServiceGraph(
+            fg, {"fa": meta(1, "fa", 2), "fb": meta(2, "fb", 3)},
+            source_peer=0, dest_peer=7, base_bandwidth=1.0,
+        )
+
+    def test_hosts_shown(self):
+        out = render_service_graph(self.graph())
+        assert "(v0)" in out and "(v7)" in out
+        assert "[fa s1@v2]" in out and "[fb s2@v3]" in out
+
+    def test_describe_includes_qos_and_links(self):
+        mov = micro_overlay(8)
+        out = describe_composition(self.graph(), mov)
+        assert "end-to-end" in out
+        assert "service links:" in out
+        assert "sender" in out and "receiver" in out
+        assert "Mbps" in out
+
+    def test_describe_without_overlay_skips_qos(self):
+        out = describe_composition(self.graph())
+        assert "end-to-end" not in out
+        assert "service links:" in out

@@ -1,0 +1,259 @@
+"""Unit tests for destination-side merging, selection, and admission."""
+
+import math
+
+import pytest
+
+from repro.core.function_graph import FunctionGraph
+from repro.core.probe import Probe
+from repro.core.qos import QoSRequirement, QoSVector
+from repro.core.request import CompositeRequest
+from repro.core.resources import ResourcePool, ResourceVector
+from repro.core.selection import (
+    CandidateGraph,
+    admit_graph,
+    merge_probes,
+    select_composition,
+)
+from repro.core.service_graph import ServiceGraph
+from repro.discovery.metadata import ServiceMetadata
+from repro.services.component import QualitySpec
+
+from worlds import micro_overlay
+
+
+def meta(cid, fn, peer):
+    return ServiceMetadata(
+        component_id=cid,
+        function=fn,
+        peer=peer,
+        qp=QoSVector({"delay": 0.01, "loss": 0.0}),
+        resources=ResourceVector({"cpu": 10.0, "memory": 20.0}),
+        input_quality=QualitySpec(),
+        output_quality=QualitySpec(),
+    )
+
+
+def diamond():
+    return FunctionGraph.from_edges(
+        ["fa", "fb", "fc", "fd"],
+        [("fa", "fb"), ("fa", "fc"), ("fb", "fd"), ("fc", "fd")],
+    )
+
+
+def make_request(fg, overlay):
+    return CompositeRequest.create(
+        function_graph=fg,
+        qos=QoSRequirement({"delay": 10.0, "loss": 1.0}),
+        source_peer=0,
+        dest_peer=7,
+    )
+
+
+def branch_probe(request, branch, assignment, elapsed=0.1):
+    """A probe that 'arrived' having traversed the given branch."""
+    return Probe(
+        probe_id=0,
+        request=request,
+        graph=request.function_graph,
+        applied_swaps=frozenset(),
+        assignment=assignment,
+        branch=branch,
+        current_peer=request.dest_peer,
+        qos=QoSVector({"delay": 0.1, "loss": 0.0}),
+        budget=1,
+        out_bandwidth=request.bandwidth,
+        elapsed=elapsed,
+    )
+
+
+@pytest.fixture(scope="module")
+def mov():
+    return micro_overlay(8)
+
+
+class TestMergeLinear:
+    def test_single_branch_probes_become_candidates(self, mov):
+        fg = FunctionGraph.linear(["fa", "fb"])
+        request = make_request(fg, mov)
+        a1, b1 = meta(1, "fa", 2), meta(2, "fb", 3)
+        a2, b2 = meta(3, "fa", 4), meta(4, "fb", 5)
+        probes = [
+            branch_probe(request, ("fa", "fb"), {"fa": a1, "fb": b1}),
+            branch_probe(request, ("fa", "fb"), {"fa": a2, "fb": b2}),
+        ]
+        cands = merge_probes(request, probes, mov)
+        assert len(cands) == 2
+
+    def test_duplicate_assignments_deduped(self, mov):
+        fg = FunctionGraph.linear(["fa"])
+        request = make_request(fg, mov)
+        a = meta(1, "fa", 2)
+        probes = [
+            branch_probe(request, ("fa",), {"fa": a}, elapsed=0.1),
+            branch_probe(request, ("fa",), {"fa": a}, elapsed=0.2),
+        ]
+        cands = merge_probes(request, probes, mov)
+        assert len(cands) == 1
+
+
+class TestMergeDag:
+    def test_compatible_branches_merge(self, mov):
+        fg = diamond()
+        request = make_request(fg, mov)
+        fa, fb, fc, fd = meta(1, "fa", 2), meta(2, "fb", 3), meta(3, "fc", 4), meta(4, "fd", 5)
+        probes = [
+            branch_probe(request, ("fa", "fb", "fd"), {"fa": fa, "fb": fb, "fd": fd}),
+            branch_probe(request, ("fa", "fc", "fd"), {"fa": fa, "fc": fc, "fd": fd}),
+        ]
+        cands = merge_probes(request, probes, mov)
+        assert len(cands) == 1
+        assert set(cands[0].graph.assignment) == {"fa", "fb", "fc", "fd"}
+
+    def test_incompatible_shared_function_not_merged(self, mov):
+        fg = diamond()
+        request = make_request(fg, mov)
+        fa1, fa2 = meta(1, "fa", 2), meta(9, "fa", 6)
+        fb, fc, fd = meta(2, "fb", 3), meta(3, "fc", 4), meta(4, "fd", 5)
+        probes = [
+            branch_probe(request, ("fa", "fb", "fd"), {"fa": fa1, "fb": fb, "fd": fd}),
+            branch_probe(request, ("fa", "fc", "fd"), {"fa": fa2, "fc": fc, "fd": fd}),
+        ]
+        assert merge_probes(request, probes, mov) == []
+
+    def test_missing_branch_yields_nothing(self, mov):
+        fg = diamond()
+        request = make_request(fg, mov)
+        fa, fb, fd = meta(1, "fa", 2), meta(2, "fb", 3), meta(4, "fd", 5)
+        probes = [
+            branch_probe(request, ("fa", "fb", "fd"), {"fa": fa, "fb": fb, "fd": fd}),
+        ]
+        assert merge_probes(request, probes, mov) == []
+
+    def test_merge_elapsed_is_max_of_contributors(self, mov):
+        fg = diamond()
+        request = make_request(fg, mov)
+        fa, fb, fc, fd = meta(1, "fa", 2), meta(2, "fb", 3), meta(3, "fc", 4), meta(4, "fd", 5)
+        probes = [
+            branch_probe(request, ("fa", "fb", "fd"), {"fa": fa, "fb": fb, "fd": fd}, elapsed=0.2),
+            branch_probe(request, ("fa", "fc", "fd"), {"fa": fa, "fc": fc, "fd": fd}, elapsed=0.7),
+        ]
+        cands = merge_probes(request, probes, mov)
+        assert cands[0].arrival_elapsed == pytest.approx(0.7)
+
+    def test_cross_product_capped(self, mov):
+        fg = diamond()
+        request = make_request(fg, mov)
+        fa, fd = meta(1, "fa", 2), meta(4, "fd", 5)
+        probes = []
+        for i in range(5):
+            probes.append(branch_probe(request, ("fa", "fb", "fd"),
+                                       {"fa": fa, "fb": meta(10 + i, "fb", 3), "fd": fd}))
+            probes.append(branch_probe(request, ("fa", "fc", "fd"),
+                                       {"fa": fa, "fc": meta(20 + i, "fc", 4), "fd": fd}))
+        cands = merge_probes(request, probes, mov, max_candidates=6)
+        assert len(cands) <= 6
+
+
+class TestSelectComposition:
+    def make_candidates(self, mov, delays):
+        fg = FunctionGraph.linear(["fa"])
+        cands = []
+        for i, d in enumerate(delays):
+            graph = ServiceGraph(
+                fg, {"fa": meta(i + 1, "fa", 2 + i)}, source_peer=0, dest_peer=7
+            )
+            cands.append(
+                CandidateGraph(graph=graph, qos=QoSVector({"delay": d, "loss": 0.0}))
+            )
+        return cands
+
+    def pool(self, mov, cpu=100.0):
+        caps = {p: ResourceVector({"cpu": cpu, "memory": 100.0}) for p in mov.peers()}
+        return ResourcePool(mov, caps)
+
+    def test_filters_unqualified(self, mov):
+        cands = self.make_candidates(mov, [0.5, 2.0])
+        outcome = select_composition(
+            cands, QoSRequirement({"delay": 1.0}), self.pool(mov)
+        )
+        assert len(outcome.qualified) == 1
+        assert outcome.best.qos.get("delay") == 0.5
+
+    def test_no_qualified_best_none(self, mov):
+        cands = self.make_candidates(mov, [2.0, 3.0])
+        outcome = select_composition(
+            cands, QoSRequirement({"delay": 1.0}), self.pool(mov)
+        )
+        assert outcome.best is None and outcome.qualified == []
+        assert outcome.n_candidates == 2  # both were considered, none qualified
+
+    def test_objective_delay_ranks_by_delay(self, mov):
+        cands = self.make_candidates(mov, [0.9, 0.2, 0.5])
+        outcome = select_composition(
+            cands, QoSRequirement({"delay": 1.0}), self.pool(mov), objective="delay"
+        )
+        assert outcome.best.qos.get("delay") == 0.2
+        delays = [c.qos.get("delay") for c in outcome.qualified]
+        assert delays == sorted(delays)
+
+    def test_objective_cost_ranks_by_psi(self, mov):
+        pool = self.pool(mov)
+        # load peer 2 so the candidate on it becomes expensive
+        pool.soft_allocate_peer("hog", 2, ResourceVector({"cpu": 85.0}))
+        cands = self.make_candidates(mov, [0.5, 0.5])
+        outcome = select_composition(cands, QoSRequirement({"delay": 1.0}), pool)
+        assert outcome.best.graph.component("fa").peer == 3
+        costs = [c.cost for c in outcome.qualified]
+        assert costs == sorted(costs)
+
+    def test_unknown_objective_rejected(self, mov):
+        with pytest.raises(ValueError):
+            select_composition([], QoSRequirement({}), self.pool(mov), objective="magic")
+
+    def test_exhausted_host_filtered_despite_qos(self, mov):
+        pool = self.pool(mov)
+        pool.soft_allocate_peer("hog", 2, ResourceVector({"cpu": 100.0}))
+        cands = self.make_candidates(mov, [0.1])
+        outcome = select_composition(cands, QoSRequirement({"delay": 1.0}), pool)
+        assert outcome.best is None
+
+
+class TestAdmitGraph:
+    def test_admit_reserves_everything(self, mov):
+        caps = {p: ResourceVector({"cpu": 50.0, "memory": 100.0}) for p in mov.peers()}
+        pool = ResourcePool(mov, caps)
+        fg = FunctionGraph.linear(["fa", "fb"])
+        graph = ServiceGraph(
+            fg, {"fa": meta(1, "fa", 2), "fb": meta(2, "fb", 3)},
+            source_peer=0, dest_peer=7, base_bandwidth=1.0,
+        )
+        assert admit_graph(graph, pool, token="s1")
+        assert pool.available(2).get("cpu") == 40.0
+        assert pool.available(3).get("cpu") == 40.0
+        pool.release("s1")
+        assert pool.available(2).get("cpu") == 50.0
+
+    def test_admit_all_or_nothing(self, mov):
+        caps = {p: ResourceVector({"cpu": 15.0, "memory": 100.0}) for p in mov.peers()}
+        pool = ResourcePool(mov, caps)
+        fg = FunctionGraph.linear(["fa", "fb"])
+        # both components on peer 2: second does not fit -> rollback
+        graph = ServiceGraph(
+            fg, {"fa": meta(1, "fa", 2), "fb": meta(2, "fb", 2)},
+            source_peer=0, dest_peer=7,
+        )
+        assert not admit_graph(graph, pool, token="s1")
+        assert pool.available(2).get("cpu") == 15.0
+        assert not pool.has_token("s1")
+
+    def test_admit_fails_on_bandwidth(self, mov):
+        caps = {p: ResourceVector({"cpu": 100.0, "memory": 100.0}) for p in mov.peers()}
+        pool = ResourcePool(mov, caps)
+        fg = FunctionGraph.linear(["fa"])
+        graph = ServiceGraph(
+            fg, {"fa": meta(1, "fa", 2)}, source_peer=0, dest_peer=7,
+            base_bandwidth=99.0,  # links carry 10
+        )
+        assert not admit_graph(graph, pool, token="s1")
+        pool.check_invariants()

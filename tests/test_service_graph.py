@@ -1,0 +1,188 @@
+"""Unit tests for instantiated service graphs."""
+
+import pytest
+
+from repro.core.function_graph import FunctionGraph
+from repro.core.qos import QoSVector
+from repro.core.resources import ResourceVector
+from repro.core.service_graph import ServiceGraph
+from repro.discovery.metadata import ServiceMetadata
+from repro.services.component import QualitySpec
+
+
+def meta(cid, fn, peer, delay=0.01, bw_factor=1.0):
+    return ServiceMetadata(
+        component_id=cid,
+        function=fn,
+        peer=peer,
+        qp=QoSVector({"delay": delay, "loss": 0.001}),
+        resources=ResourceVector({"cpu": 10.0, "memory": 32.0}),
+        input_quality=QualitySpec(),
+        output_quality=QualitySpec(),
+        bandwidth_factor=bw_factor,
+    )
+
+
+def linear_graph(peers=(2, 3, 4), bw_factors=(1.0, 1.0, 1.0)):
+    fg = FunctionGraph.linear(["a", "b", "c"])
+    assignment = {
+        "a": meta(1, "a", peers[0], bw_factor=bw_factors[0]),
+        "b": meta(2, "b", peers[1], bw_factor=bw_factors[1]),
+        "c": meta(3, "c", peers[2], bw_factor=bw_factors[2]),
+    }
+    return ServiceGraph(fg, assignment, source_peer=0, dest_peer=1, base_bandwidth=1.0)
+
+
+def diamond_graph():
+    fg = FunctionGraph.from_edges(
+        "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    )
+    assignment = {
+        "a": meta(1, "a", 2),
+        "b": meta(2, "b", 3),
+        "c": meta(3, "c", 4),
+        "d": meta(4, "d", 5),
+    }
+    return ServiceGraph(fg, assignment, source_peer=0, dest_peer=1, base_bandwidth=1.0)
+
+
+class TestValidation:
+    def test_missing_assignment_rejected(self):
+        fg = FunctionGraph.linear(["a", "b"])
+        with pytest.raises(ValueError, match="unassigned"):
+            ServiceGraph(fg, {"a": meta(1, "a", 0)}, source_peer=0, dest_peer=1)
+
+    def test_wrong_function_component_rejected(self):
+        fg = FunctionGraph.linear(["a"])
+        with pytest.raises(ValueError, match="provides"):
+            ServiceGraph(fg, {"a": meta(1, "b", 0)}, source_peer=0, dest_peer=1)
+
+
+class TestStructure:
+    def test_components_in_function_order(self):
+        sg = linear_graph()
+        assert [m.component_id for m in sg.components()] == [1, 2, 3]
+
+    def test_component_ids_frozenset(self):
+        assert linear_graph().component_ids() == frozenset({1, 2, 3})
+
+    def test_peers_dedup_preserves_order(self):
+        sg = linear_graph(peers=(2, 2, 4))
+        assert sg.peers() == [2, 4]
+        assert sg.peers(include_endpoints=True) == [0, 2, 4, 1]
+
+    def test_uses_peer_and_component(self):
+        sg = linear_graph()
+        assert sg.uses_peer(3) and not sg.uses_peer(17)
+        assert sg.uses_component(2) and not sg.uses_component(99)
+
+    def test_signature_distinguishes_assignments(self):
+        a = linear_graph()
+        b = linear_graph(peers=(2, 3, 5))  # different component? same ids
+        assert a.signature() == linear_graph().signature()
+
+    def test_overlap_counts_common_components(self):
+        a = linear_graph()
+        fg = FunctionGraph.linear(["a", "b", "c"])
+        assignment = {
+            "a": meta(1, "a", 2),
+            "b": meta(9, "b", 7),
+            "c": meta(3, "c", 4),
+        }
+        b = ServiceGraph(fg, assignment, source_peer=0, dest_peer=1)
+        assert a.overlap(b) == 2
+
+
+class TestServiceLinks:
+    def test_linear_links_with_endpoints(self):
+        sg = linear_graph()
+        links = sg.service_links()
+        assert len(links) == 4  # src->a, a->b, b->c, c->dst
+        assert links[0].from_fn is None and links[0].src_peer == 0
+        assert links[-1].to_fn is None and links[-1].dst_peer == 1
+
+    def test_bandwidth_factors_compound(self):
+        sg = linear_graph(bw_factors=(0.5, 2.0, 1.0))
+        links = {(l.from_fn, l.to_fn): l.bandwidth for l in sg.service_links()}
+        assert links[(None, "a")] == pytest.approx(1.0)
+        assert links[("a", "b")] == pytest.approx(0.5)
+        assert links[("b", "c")] == pytest.approx(1.0)
+        assert links[("c", None)] == pytest.approx(1.0)
+
+    def test_diamond_links(self):
+        sg = diamond_graph()
+        pairs = {(l.from_fn, l.to_fn) for l in sg.service_links()}
+        assert (None, "a") in pairs and ("d", None) in pairs
+        assert ("a", "b") in pairs and ("a", "c") in pairs
+        assert ("b", "d") in pairs and ("c", "d") in pairs
+
+    def test_join_takes_worst_branch_rate(self):
+        fg = FunctionGraph.from_edges(
+            "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        assignment = {
+            "a": meta(1, "a", 2),
+            "b": meta(2, "b", 3, bw_factor=4.0),
+            "c": meta(3, "c", 4, bw_factor=0.25),
+            "d": meta(4, "d", 5),
+        }
+        sg = ServiceGraph(fg, assignment, 0, 1, base_bandwidth=1.0)
+        links = {(l.from_fn, l.to_fn): l.bandwidth for l in sg.service_links()}
+        # d's input rate must be sized for the 4x branch
+        assert links[("d", None)] == pytest.approx(4.0)
+
+
+class TestBranchPathsAndQoS:
+    def test_linear_branch_paths(self):
+        sg = linear_graph()
+        assert sg.branch_paths() == [[0, 2, 3, 4, 1]]
+
+    def test_diamond_branch_paths(self):
+        sg = diamond_graph()
+        paths = sg.branch_paths()
+        assert len(paths) == 2
+        for p in paths:
+            assert p[0] == 0 and p[-1] == 1
+
+    def test_branch_qos_adds_links_and_qp(self, overlay):
+        sg = linear_graph(peers=(2, 3, 4))
+        q = sg.branch_qos(overlay, ("a", "b", "c"))
+        hops = [(0, 2), (2, 3), (3, 4), (4, 1)]
+        expected_delay = sum(overlay.latency(u, v) for u, v in hops) + 3 * 0.01
+        assert q.get("delay") == pytest.approx(expected_delay)
+        expected_loss = sum(overlay.path_loss_add(u, v) for u, v in hops) + 3 * 0.001
+        assert q.get("loss") == pytest.approx(expected_loss)
+
+    def test_colocated_hop_free(self, overlay):
+        sg = linear_graph(peers=(2, 2, 2))
+        q = sg.branch_qos(overlay, ("a", "b", "c"))
+        expected = overlay.latency(0, 2) + overlay.latency(2, 1) + 3 * 0.01
+        assert q.get("delay") == pytest.approx(expected)
+
+    def test_end_to_end_is_worst_branch(self, overlay):
+        sg = diamond_graph()
+        branch_values = [
+            sg.branch_qos(overlay, b) for b in sg.pattern.branches()
+        ]
+        e2e = sg.end_to_end_qos(overlay)
+        assert e2e.get("delay") == pytest.approx(
+            max(q.get("delay") for q in branch_values)
+        )
+
+
+class TestFailureProbability:
+    def test_independent_peers_combine(self):
+        sg = linear_graph(peers=(2, 3, 4))
+        p = sg.failure_probability(lambda peer: 0.1)
+        assert p == pytest.approx(1 - 0.9**3)
+
+    def test_colocated_components_counted_once(self):
+        sg = linear_graph(peers=(2, 2, 2))
+        assert sg.failure_probability(lambda peer: 0.1) == pytest.approx(0.1)
+
+    def test_zero_failure(self):
+        assert linear_graph().failure_probability(lambda p: 0.0) == 0.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            linear_graph().failure_probability(lambda p: 1.5)

@@ -1,0 +1,247 @@
+"""Unit tests for ADUs, the component runtime, and the media library."""
+
+import numpy as np
+import pytest
+
+from repro.core.qos import QoSVector
+from repro.core.resources import ResourceVector
+from repro.services.adu import ADU, VideoFrame
+from repro.services.component import (
+    ComponentSpec,
+    ProcessingError,
+    QualitySpec,
+    ServiceComponent,
+)
+from repro.services.media import (
+    MEDIA_FUNCTIONS,
+    deploy_media_component,
+    make_media_component,
+    make_transform,
+)
+
+
+def frame(w=640, h=480, bits=8):
+    return VideoFrame.source(stream_id=1, timestamp=0.0, width=w, height=h, quant_bits=bits)
+
+
+class TestADU:
+    def test_fresh_assigns_increasing_seq(self):
+        a, b = ADU.fresh(1, 0.0, 100), ADU.fresh(1, 0.0, 100)
+        assert b.seq > a.seq
+
+    def test_video_frame_size_consistent(self):
+        f = frame(640, 480, 8)
+        assert f.size_bytes == VideoFrame.nominal_size(640, 480, 8)
+
+    def test_resize_scales_size(self):
+        f = frame(640, 480)
+        up = f.resized(1280, 960)
+        assert up.size_bytes == 4 * f.size_bytes
+        assert (up.width, up.height) == (1280, 960)
+
+    def test_resize_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            frame().resized(0, 100)
+
+    def test_requantise_halves_size(self):
+        f = frame(bits=8)
+        q = f.requantised(4)
+        assert q.size_bytes == f.size_bytes // 2
+        assert q.quant_bits == 4
+
+    def test_requantise_range_checked(self):
+        with pytest.raises(ValueError):
+            frame().requantised(0)
+        with pytest.raises(ValueError):
+            frame().requantised(20)
+
+    def test_overlay_appends(self):
+        f = frame().with_overlay("stock").with_overlay("weather")
+        assert f.overlays == ("stock", "weather")
+
+    def test_crop_inside_bounds(self):
+        f = frame(100, 100)
+        c = f.cropped(10, 10, 50, 40)
+        assert (c.width, c.height) == (50, 40)
+        assert c.crop == (10, 10, 50, 40)
+
+    def test_crop_outside_rejected(self):
+        with pytest.raises(ValueError):
+            frame(100, 100).cropped(60, 60, 50, 50)
+
+    def test_frames_are_immutable(self):
+        f = frame()
+        with pytest.raises(Exception):
+            f.width = 10
+
+
+class TestQualitySpec:
+    def test_wildcard_accepts_all(self):
+        assert QualitySpec.of().accepts("anything")
+
+    def test_specific_formats(self):
+        q = QualitySpec.of("yuv", "rgb")
+        assert q.accepts("yuv") and not q.accepts("h264")
+
+    def test_compatibility_intersection(self):
+        a = QualitySpec.of("yuv")
+        b = QualitySpec.of("yuv", "rgb")
+        c = QualitySpec.of("h264")
+        assert a.compatible_with(b)
+        assert not a.compatible_with(c)
+
+    def test_wildcard_compatible_both_ways(self):
+        assert QualitySpec.of().compatible_with(QualitySpec.of("h264"))
+        assert QualitySpec.of("h264").compatible_with(QualitySpec.of())
+
+    def test_primary_format(self):
+        assert QualitySpec.of("b", "a").primary_format() == "a"
+        assert QualitySpec.of().primary_format() == "*"
+
+
+class TestComponentSpec:
+    def test_create_validates_inputs(self):
+        with pytest.raises(ValueError):
+            ComponentSpec.create(
+                "f", 0, QoSVector({"delay": 0.0}), ResourceVector({}), n_inputs=0
+            )
+        with pytest.raises(ValueError):
+            ComponentSpec.create(
+                "f", 0, QoSVector({"delay": 0.0}), ResourceVector({}), bandwidth_factor=0.0
+            )
+
+    def test_component_ids_unique(self):
+        a = ComponentSpec.create("f", 0, QoSVector({}), ResourceVector({}))
+        b = ComponentSpec.create("f", 0, QoSVector({}), ResourceVector({}))
+        assert a.component_id != b.component_id
+
+    def test_service_delay_reads_qp(self):
+        spec = ComponentSpec.create("f", 0, QoSVector({"delay": 0.042}), ResourceVector({}))
+        assert spec.service_delay == 0.042
+
+
+class TestServiceComponentRuntime:
+    def make(self, transform=None, n_inputs=1, max_queue=4):
+        spec = ComponentSpec.create(
+            "f", 0, QoSVector({"delay": 0.01}), ResourceVector({"cpu": 1.0}), n_inputs=n_inputs
+        )
+        return ServiceComponent(spec, transform, max_queue=max_queue)
+
+    def test_identity_default_transform(self):
+        comp = self.make()
+        adu = ADU.fresh(1, 0.0, 10)
+        comp.enqueue(adu)
+        out = comp.process_once()
+        assert out == [adu]
+
+    def test_ready_requires_all_queues(self):
+        comp = self.make(n_inputs=2)
+        comp.enqueue(ADU.fresh(1, 0.0, 10), queue_index=0)
+        assert not comp.ready
+        comp.enqueue(ADU.fresh(2, 0.0, 10), queue_index=1)
+        assert comp.ready
+
+    def test_multi_input_consumes_one_per_queue(self):
+        merged = []
+
+        def mixer(adus):
+            merged.append(tuple(a.stream_id for a in adus))
+            return [adus[0]]
+
+        comp = self.make(transform=mixer, n_inputs=2)
+        comp.enqueue(ADU.fresh(1, 0.0, 10), 0)
+        comp.enqueue(ADU.fresh(2, 0.0, 10), 1)
+        comp.process_once()
+        assert merged == [(1, 2)]
+
+    def test_queue_overflow_drops(self):
+        comp = self.make(max_queue=2)
+        assert comp.enqueue(ADU.fresh(1, 0.0, 1))
+        assert comp.enqueue(ADU.fresh(1, 0.0, 1))
+        assert not comp.enqueue(ADU.fresh(1, 0.0, 1))
+        assert comp.dropped == 1
+
+    def test_bad_queue_index_raises(self):
+        comp = self.make()
+        with pytest.raises(ProcessingError):
+            comp.enqueue(ADU.fresh(1, 0.0, 1), queue_index=3)
+
+    def test_drain_processes_all(self):
+        comp = self.make(max_queue=16)
+        for i in range(5):
+            comp.enqueue(ADU.fresh(1, float(i), 1))
+        out = comp.drain()
+        assert len(out) == 5
+        assert comp.processed == 5 and comp.emitted == 5
+
+    def test_process_when_not_ready_returns_empty(self):
+        assert self.make().process_once() == []
+
+    def test_queue_depths(self):
+        comp = self.make(n_inputs=2)
+        comp.enqueue(ADU.fresh(1, 0.0, 1), 0)
+        assert comp.queue_depths() == (1, 0)
+
+
+class TestMediaLibrary:
+    def test_six_functions(self):
+        assert len(MEDIA_FUNCTIONS) == 6
+
+    @pytest.mark.parametrize("fn", MEDIA_FUNCTIONS)
+    def test_every_transform_runs(self, fn):
+        out = make_transform(fn)([frame()])
+        assert len(out) == 1
+        assert isinstance(out[0], VideoFrame)
+
+    def test_weather_and_stock_tickers_overlay(self):
+        f = frame()
+        assert make_transform("weather_ticker")([f])[0].overlays == ("weather",)
+        assert make_transform("stock_ticker")([f])[0].overlays == ("stock",)
+
+    def test_upscale_doubles_dimensions(self):
+        out = make_transform("upscale")([frame(100, 50)])[0]
+        assert (out.width, out.height) == (200, 100)
+
+    def test_downscale_halves_dimensions(self):
+        out = make_transform("downscale")([frame(100, 50)])[0]
+        assert (out.width, out.height) == (50, 25)
+
+    def test_subimage_extracts_quarter(self):
+        out = make_transform("subimage")([frame(100, 100)])[0]
+        assert (out.width, out.height) == (50, 50)
+        assert out.crop is not None
+
+    def test_requantify_halves_depth(self):
+        out = make_transform("requantify")([frame(bits=8)])[0]
+        assert out.quant_bits == 4
+
+    def test_transform_rejects_plain_adu(self):
+        with pytest.raises(ProcessingError):
+            make_transform("upscale")([ADU.fresh(1, 0.0, 10)])
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            make_transform("hologram")
+
+    def test_make_media_component_randomised_qp(self):
+        rng = np.random.default_rng(0)
+        a = make_media_component("upscale", peer=1, rng=rng)
+        b = make_media_component("upscale", peer=2, rng=rng)
+        assert a.qp != b.qp or a.resources != b.resources
+
+    def test_make_media_component_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_media_component("nope", peer=0)
+
+    def test_deploy_runs_end_to_end(self):
+        spec = make_media_component("downscale", peer=0, rng=np.random.default_rng(1))
+        comp = deploy_media_component(spec)
+        comp.enqueue(frame(640, 480))
+        out = comp.process_once()
+        assert out[0].width == 320
+
+    def test_bandwidth_factors_direction(self):
+        rng = np.random.default_rng(2)
+        up = make_media_component("upscale", 0, rng=rng)
+        down = make_media_component("downscale", 0, rng=rng)
+        assert up.bandwidth_factor > 1.0 > down.bandwidth_factor

@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event engine."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import EventHandle, PeriodicTask, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(5.0, out.append, "late")
+        sim.schedule(1.0, out.append, "early")
+        sim.schedule(3.0, out.append, "mid")
+        sim.run()
+        assert out == ["early", "mid", "late"]
+
+    def test_fifo_among_simultaneous_events(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.schedule(1.0, out.append, i)
+        sim.run()
+        assert out == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(0.0, out.append, 1)
+        sim.run()
+        assert out == [1]
+
+    def test_callback_args_and_kwargs(self):
+        sim = Simulator()
+        seen = {}
+        sim.schedule(1.0, lambda a, b=0: seen.update(a=a, b=b), 1, b=2)
+        sim.run()
+        assert seen == {"a": 1, "b": 2}
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        out = []
+
+        def first():
+            out.append("first")
+            sim.schedule(1.0, out.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert out == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        out = []
+        h = sim.schedule(1.0, out.append, "x")
+        assert h.cancel()
+        sim.run()
+        assert out == []
+
+    def test_cancel_returns_false_after_fired(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert not h.cancel()
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        assert h.cancel()
+        assert not h.cancel()
+
+    def test_pending_property(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        assert h.pending
+        h.cancel()
+        assert not h.pending
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRun:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, 1)
+        sim.schedule(5.0, out.append, 2)
+        sim.run(until=3.0)
+        assert out == [1]
+        assert sim.now == 3.0
+        sim.run()  # remaining event still fires later
+        assert out == [1, 2]
+
+    def test_run_until_advances_clock_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, 1)
+        sim.schedule(2.0, out.append, 2)
+        assert sim.step()
+        assert out == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as e:
+                errors.append(e)
+
+        sim.schedule(1.0, recurse)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_iterate_yields_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert list(sim.iterate()) == [1.0, 2.0]
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        out = []
+        sim.every(2.0, lambda: out.append(sim.now))
+        sim.run(until=7.0)
+        assert out == [2.0, 4.0, 6.0]
+
+    def test_start_after_overrides_first_delay(self):
+        sim = Simulator()
+        out = []
+        sim.every(2.0, lambda: out.append(sim.now), start_after=0.5)
+        sim.run(until=5.0)
+        assert out == [0.5, 2.5, 4.5]
+
+    def test_stop_prevents_future_fires(self):
+        sim = Simulator()
+        out = []
+        task = sim.every(1.0, lambda: out.append(sim.now))
+        sim.run(until=2.5)
+        task.stop()
+        sim.run(until=10.0)
+        assert out == [1.0, 2.0]
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        task_holder = {}
+
+        def cb():
+            task_holder["count"] = task_holder.get("count", 0) + 1
+            if task_holder["count"] >= 3:
+                task_holder["task"].stop()
+
+        task_holder["task"] = sim.every(1.0, cb)
+        sim.run(until=100.0)
+        assert task_holder["count"] == 3
+
+    def test_fire_count(self):
+        sim = Simulator()
+        task = sim.every(1.0, lambda: None)
+        sim.run(until=4.5)
+        assert task.fire_count == 4
+
+    def test_non_positive_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+    def test_jitter_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 1.0, lambda: None, (), {}, jitter=0.1, rng=None)
+
+    def test_jitter_desynchronises(self):
+        sim = Simulator()
+        times = []
+        rng = np.random.default_rng(0)
+        sim.every(1.0, lambda: times.append(sim.now), jitter=0.3, rng=rng)
+        sim.run(until=10.0)
+        assert len(times) >= 7
+        gaps = np.diff([0.0] + times)
+        assert gaps.min() > 0.6 and gaps.max() < 1.4
+        assert len(set(np.round(gaps, 6))) > 1  # actually jittered

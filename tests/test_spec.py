@@ -1,0 +1,219 @@
+"""Tests for the request specification layer (JSON/XML → CompositeRequest)."""
+
+import json
+
+import pytest
+
+from repro.core.qos import additive_to_loss
+from repro.spec import (
+    SpecError,
+    compile_spec,
+    load_spec,
+    parse_json,
+    parse_xml,
+    spec_from_request,
+)
+
+
+def base_spec():
+    return {
+        "name": "mobile-news-stream",
+        "functions": ["downscale", "stock_ticker", "requantify"],
+        "qos": {"delay_ms": 800, "loss_rate": 0.05},
+        "bandwidth_mbps": 1.2,
+        "source": 0,
+        "dest": 42,
+        "duration_s": 1800,
+        "failure_req": 0.05,
+    }
+
+
+class TestCompileSpec:
+    def test_minimal_linear_chain(self):
+        spec = compile_spec(base_spec())
+        assert spec.name == "mobile-news-stream"
+        assert spec.function_graph.is_linear()
+        assert spec.function_graph.topological_order() == [
+            "downscale", "stock_ticker", "requantify",
+        ]
+
+    def test_units_converted(self):
+        spec = compile_spec(base_spec())
+        assert spec.qos.bounds["delay"] == pytest.approx(0.8)
+        assert additive_to_loss(spec.qos.bounds["loss"]) == pytest.approx(0.05)
+
+    def test_compile_to_request(self):
+        request = compile_spec(base_spec()).compile()
+        assert request.source_peer == 0 and request.dest_peer == 42
+        assert request.bandwidth == pytest.approx(1.2)
+        assert request.duration == pytest.approx(1800)
+
+    def test_explicit_edges_make_dag(self):
+        spec = dict(base_spec())
+        spec["functions"] = ["a", "b", "c", "d"]
+        spec["edges"] = [["a", "b"], ["a", "c"], ["b", "d"], ["c", "d"]]
+        compiled = compile_spec(spec)
+        assert not compiled.function_graph.is_linear()
+        assert len(compiled.function_graph.branches()) == 2
+
+    def test_commutations_carried(self):
+        spec = dict(base_spec())
+        spec["commutations"] = [["stock_ticker", "requantify"]]
+        compiled = compile_spec(spec)
+        assert len(compiled.function_graph.commutations) == 1
+
+    def test_conditional_annotation(self):
+        spec = dict(base_spec())
+        spec["functions"] = ["a", "b", "c", "d"]
+        spec["edges"] = [["a", "b"], ["a", "c"], ["b", "d"], ["c", "d"]]
+        spec["conditional"] = {"a": {"b": 0.7, "c": 0.3}}
+        compiled = compile_spec(spec)
+        assert compiled.conditional is not None
+        assert compiled.conditional.probability("a", "b") == pytest.approx(0.7)
+
+    def test_defaults_applied(self):
+        spec = {"functions": ["f"], "source": 0, "dest": 1}
+        compiled = compile_spec(spec)
+        assert compiled.bandwidth_mbps == 0.5
+        assert compiled.duration_s == 600.0
+
+    def test_unknown_key_rejected(self):
+        spec = dict(base_spec())
+        spec["bandwith_mbps"] = 1.0  # typo
+        with pytest.raises(SpecError, match="unknown spec keys"):
+            compile_spec(spec)
+
+    def test_unknown_qos_key_rejected(self):
+        spec = dict(base_spec())
+        spec["qos"] = {"jitter_ms": 5}
+        with pytest.raises(SpecError, match="unknown qos keys"):
+            compile_spec(spec)
+
+    def test_same_endpoints_rejected(self):
+        spec = dict(base_spec())
+        spec["dest"] = spec["source"]
+        with pytest.raises(SpecError):
+            compile_spec(spec)
+
+    def test_bad_graph_rejected(self):
+        spec = dict(base_spec())
+        spec["edges"] = [["downscale", "ghost"]]
+        with pytest.raises(SpecError, match="invalid function graph"):
+            compile_spec(spec)
+
+    def test_bad_conditional_rejected(self):
+        spec = dict(base_spec())
+        spec["conditional"] = {"downscale": {"stock_ticker": 0.5}}
+        with pytest.raises(SpecError, match="conditional"):
+            compile_spec(spec)
+
+    def test_bad_values_rejected(self):
+        for key, value in (
+            ("bandwidth_mbps", -1.0),
+            ("duration_s", 0.0),
+            ("failure_req", 2.0),
+        ):
+            spec = dict(base_spec())
+            spec[key] = value
+            with pytest.raises(SpecError):
+                compile_spec(spec)
+
+    def test_round_trip_through_serialiser(self):
+        request = compile_spec(base_spec()).compile()
+        spec2 = spec_from_request(request, name="rt")
+        request2 = compile_spec(spec2).compile()
+        assert request2.function_graph.edges == request.function_graph.edges
+        assert request2.qos.bounds == pytest.approx(request.qos.bounds)
+        assert request2.bandwidth == pytest.approx(request.bandwidth)
+
+
+class TestJsonParser:
+    def test_parse_json(self):
+        spec = parse_json(json.dumps(base_spec()))
+        assert spec.source == 0
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SpecError, match="invalid JSON"):
+            parse_json("{not json")
+
+
+XML_DOC = """
+<composite-request name="mobile-news-stream">
+  <function name="downscale"/>
+  <function name="stock_ticker"/>
+  <function name="requantify"/>
+  <edge from="downscale" to="stock_ticker"/>
+  <edge from="stock_ticker" to="requantify"/>
+  <commutation a="stock_ticker" b="requantify"/>
+  <qos delay-ms="800" loss-rate="0.05"/>
+  <stream bandwidth-mbps="1.2" source="0" dest="42" duration-s="1800"/>
+</composite-request>
+"""
+
+
+class TestXmlParser:
+    def test_parse_xml(self):
+        spec = parse_xml(XML_DOC)
+        assert spec.name == "mobile-news-stream"
+        assert spec.qos.bounds["delay"] == pytest.approx(0.8)
+        assert len(spec.function_graph.commutations) == 1
+        assert spec.bandwidth_mbps == pytest.approx(1.2)
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(SpecError, match="composite-request"):
+            parse_xml("<request/>")
+
+    def test_missing_stream_rejected(self):
+        with pytest.raises(SpecError, match="stream"):
+            parse_xml("<composite-request><function name='f'/></composite-request>")
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(SpecError, match="invalid XML"):
+            parse_xml("<unclosed")
+
+    def test_conditional_with_implied_remainder(self):
+        doc = """
+        <composite-request>
+          <function name="a"/><function name="b"/>
+          <function name="c"/><function name="d"/>
+          <edge from="a" to="b"/><edge from="a" to="c"/>
+          <edge from="b" to="d"/><edge from="c" to="d"/>
+          <conditional fork="a"><branch to="b" probability="0.7"/></conditional>
+          <stream source="0" dest="9"/>
+        </composite-request>
+        """
+        spec = parse_xml(doc)
+        assert spec.conditional.probability("a", "c") == pytest.approx(0.3)
+
+
+class TestLoadSpec:
+    def test_load_json_file(self, tmp_path):
+        p = tmp_path / "req.json"
+        p.write_text(json.dumps(base_spec()))
+        assert load_spec(p).dest == 42
+
+    def test_load_xml_file(self, tmp_path):
+        p = tmp_path / "req.xml"
+        p.write_text(XML_DOC)
+        assert load_spec(p).dest == 42
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        p = tmp_path / "req.yaml"
+        p.write_text("functions: [f]")
+        with pytest.raises(SpecError, match="unsupported"):
+            load_spec(p)
+
+
+class TestEndToEnd:
+    def test_spec_to_composition(self, populated_net):
+        net, _ = populated_net
+        fns = net.registry.functions()[:2]
+        spec = {
+            "functions": fns,
+            "qos": {"delay_ms": 3000, "loss_rate": 0.2},
+            "source": 0,
+            "dest": 5,
+        }
+        request = compile_spec(spec).compile()
+        result = net.compose(request, budget=16)
+        assert result is not None  # composes without error (success depends on world)

@@ -1,0 +1,131 @@
+"""Unit tests for IP-layer and overlay-layer shortest-path routing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.inet import generate_ip_network
+from repro.topology.routing import IPRouter, OverlayRouter, graph_to_sparse
+
+
+@pytest.fixture(scope="module")
+def ip():
+    return generate_ip_network(120, rng=np.random.default_rng(21))
+
+
+@pytest.fixture(scope="module")
+def ip_router(ip):
+    return IPRouter(ip)
+
+
+def small_weighted_graph():
+    g = nx.Graph()
+    g.add_edge(0, 1, delay=1.0, bandwidth=10.0)
+    g.add_edge(1, 2, delay=1.0, bandwidth=5.0)
+    g.add_edge(0, 2, delay=5.0, bandwidth=100.0)
+    g.add_edge(2, 3, delay=1.0, bandwidth=20.0)
+    return g
+
+
+class TestGraphToSparse:
+    def test_round_trip_weights(self):
+        g = small_weighted_graph()
+        m, nodes = graph_to_sparse(g, "delay")
+        assert m.shape == (4, 4)
+        assert m[0, 1] == 1.0 and m[1, 0] == 1.0
+        assert m[0, 2] == 5.0
+
+    def test_nodelist_subset(self):
+        g = small_weighted_graph()
+        m, nodes = graph_to_sparse(g, "delay", nodelist=[0, 1])
+        assert m.shape == (2, 2)
+        assert m[0, 1] == 1.0
+
+
+class TestIPRouter:
+    def test_matches_networkx_dijkstra(self, ip, ip_router):
+        lengths = nx.single_source_dijkstra_path_length(ip, 0, weight="delay")
+        for node in list(ip.nodes)[:20]:
+            assert ip_router.delay(0, node) == pytest.approx(lengths[node])
+
+    def test_path_endpoints_and_continuity(self, ip, ip_router):
+        path = ip_router.path(0, 50)
+        assert path[0] == 0 and path[-1] == 50
+        for a, b in zip(path, path[1:]):
+            assert ip.has_edge(a, b)
+
+    def test_path_delay_consistent(self, ip, ip_router):
+        path = ip_router.path(0, 50)
+        total = sum(ip.edges[a, b]["delay"] for a, b in zip(path, path[1:]))
+        assert ip_router.delay(0, 50) == pytest.approx(total)
+
+    def test_self_path(self, ip_router):
+        assert ip_router.path(5, 5) == [5]
+        assert ip_router.delay(5, 5) == 0.0
+
+    def test_path_bandwidth_is_bottleneck(self):
+        router = IPRouter(small_weighted_graph())
+        # shortest delay 0->2 goes through 1 (delay 2 < 5)
+        assert router.path(0, 2) == [0, 1, 2]
+        assert router.path_bandwidth(0, 2) == 5.0
+
+    def test_self_bandwidth_infinite(self):
+        router = IPRouter(small_weighted_graph())
+        assert router.path_bandwidth(1, 1) == float("inf")
+
+    def test_unknown_router_raises(self, ip_router):
+        with pytest.raises(KeyError):
+            ip_router.delays_from(10_000)
+
+    def test_cache_consistency(self, ip_router):
+        d1 = ip_router.delay(3, 40)
+        d2 = ip_router.delay(3, 40)
+        assert d1 == d2
+
+
+class TestOverlayRouter:
+    def test_matches_networkx(self):
+        g = small_weighted_graph()
+        router = OverlayRouter(g)
+        for a in g.nodes:
+            lengths = nx.single_source_dijkstra_path_length(g, a, weight="delay")
+            for b in g.nodes:
+                assert router.delay(a, b) == pytest.approx(lengths[b])
+
+    def test_path_and_links(self):
+        router = OverlayRouter(small_weighted_graph())
+        assert router.path(0, 3) == [0, 1, 2, 3]
+        assert router.links(0, 3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_links_canonical_order(self):
+        router = OverlayRouter(small_weighted_graph())
+        for u, v in router.links(3, 0):
+            assert u < v
+
+    def test_self_path(self):
+        router = OverlayRouter(small_weighted_graph())
+        assert router.path(2, 2) == [2]
+        assert router.links(2, 2) == []
+
+    def test_no_path_raises(self):
+        g = small_weighted_graph()
+        g.add_node(99)  # isolated
+        router = OverlayRouter(g)
+        assert not router.reachable(0, 99)
+        with pytest.raises(nx.NetworkXNoPath):
+            router.path(0, 99)
+
+    def test_unknown_peer_raises(self):
+        router = OverlayRouter(small_weighted_graph())
+        with pytest.raises(KeyError):
+            router.delay(0, 1234)
+
+    def test_delay_matrix_copy(self):
+        router = OverlayRouter(small_weighted_graph())
+        m = router.delay_matrix()
+        m[0, 1] = -99.0
+        assert router.delay(0, 1) == 1.0  # internal state untouched
+
+    def test_peers_property(self):
+        router = OverlayRouter(small_weighted_graph())
+        assert sorted(router.peers) == [0, 1, 2, 3]
