@@ -9,12 +9,15 @@ config docstring; EXPERIMENTS.md records full-scale runs.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_MICRO_JSON = pathlib.Path(__file__).parent / "BENCH_micro.json"
 
 
 @pytest.fixture(scope="session")
@@ -27,3 +30,48 @@ def save_table(results_dir: pathlib.Path, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append ``bench_micro`` results to the BENCH_micro.json trajectory.
+
+    Each timed run (i.e. not ``--benchmark-disable`` smoke runs) appends
+    one entry, so the file accumulates a history of the micro-benchmark
+    means across commits.  Set ``BENCH_NOTE`` in the environment to tag
+    an entry (e.g. ``BENCH_NOTE="before fast path"``).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    results = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        if "bench_micro" not in bench.fullname or bench.has_error:
+            continue
+        st = getattr(bench, "stats", None)
+        if st is None:  # --benchmark-disable: ran once, not timed
+            continue
+        results[bench.name] = {
+            "mean_ms": st.mean * 1e3,
+            "min_ms": st.min * 1e3,
+            "median_ms": st.median * 1e3,
+            "stddev_ms": st.stddev * 1e3,
+            "rounds": st.rounds,
+        }
+    if not results:
+        return
+    history = []
+    if BENCH_MICRO_JSON.exists():
+        try:
+            history = json.loads(BENCH_MICRO_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "note": os.environ.get("BENCH_NOTE", ""),
+            "results": results,
+        }
+    )
+    BENCH_MICRO_JSON.write_text(json.dumps(history, indent=2) + "\n")

@@ -36,6 +36,7 @@ from .experiments import (
     run_trust_extension,
 )
 from .experiments.plotting import ascii_chart
+from .perf import profile_call
 
 __all__ = ["main"]
 
@@ -93,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quick", action="store_true", help="smoke-test scale")
     parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
     parser.add_argument("--plot", action="store_true", help="render terminal charts")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
+    parser.add_argument(
+        "--profile-dump",
+        metavar="PATH",
+        default=None,
+        help="with --profile: also write raw pstats data to PATH "
+        "(one experiment per invocation)",
+    )
     return parser
 
 
@@ -103,10 +116,24 @@ def _config_for(name: str, quick: bool, seed: Optional[int]):
     return cfg
 
 
-def _run_one(name: str, quick: bool, seed: Optional[int], plot: bool) -> None:
+def _run_one(
+    name: str,
+    quick: bool,
+    seed: Optional[int],
+    plot: bool,
+    profile: bool = False,
+    profile_dump: Optional[str] = None,
+) -> None:
     print(f"=== {name} {'(quick)' if quick else ''} ===", flush=True)
     cfg = _config_for(name, quick, seed)
-    result = _RUNNERS[name](cfg, verbose=True)
+    if profile:
+        result, report = profile_call(
+            _RUNNERS[name], cfg, verbose=True, dump_path=profile_dump
+        )
+        print()
+        print(report)
+    else:
+        result = _RUNNERS[name](cfg, verbose=True)
     if hasattr(result, "table"):
         print()
         print(result.table())
@@ -120,7 +147,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_one(name, args.quick, args.seed, args.plot)
+        _run_one(
+            name,
+            args.quick,
+            args.seed,
+            args.plot,
+            profile=args.profile,
+            profile_dump=args.profile_dump,
+        )
     return 0
 
 

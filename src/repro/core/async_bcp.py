@@ -194,11 +194,7 @@ class AsyncBCP:
             fn, meta, graph, applied, qos, budget,
             elapsed=self.sim.now - comp.started_at,
         )
-        key = (
-            child.graph.edges,
-            tuple(sorted((f, m.component_id) for f, m in child.assignment.items())),
-            child.branch,
-        )
+        key = child.dedup_key()
         if key in comp.seen_children:
             return
         comp.seen_children.add(key)
@@ -227,11 +223,7 @@ class AsyncBCP:
                                   request.dest_peer, probe.out_bandwidth):
             return
         arrived = probe.arrived(qos, elapsed=self.sim.now - comp.started_at)
-        key = (
-            arrived.graph.edges,
-            tuple(sorted((f, m.component_id) for f, m in arrived.assignment.items())),
-            arrived.branch,
-        )
+        key = arrived.dedup_key()
         prev = comp.arrivals.get(key)
         if prev is None or arrived.elapsed < prev.elapsed:
             comp.arrivals[key] = arrived

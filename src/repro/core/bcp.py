@@ -32,8 +32,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..discovery.metadata import ServiceMetadata
-from ..discovery.registry import ServiceRegistry
+from ..discovery.registry import ServiceRegistry, WaveLookupCache
+from ..perf.timers import PhaseTimer
 from ..sim.metrics import MessageLedger
 from ..sim.rng import as_generator
 from ..topology.overlay import Overlay
@@ -101,6 +104,11 @@ class BCPConfig:
     qos_pruning: bool = True  # ablation: per-hop violation drops on/off
     metric_selection: bool = True  # ablation: composite metric vs random pruning
     objective: str = "cost"  # destination ranking: "cost" (ψλ) or "delay"
+    # fast-path switches: both are behaviour-preserving (the seeded A/B
+    # test in tests/test_perf_fastpath.py proves identical compositions);
+    # they exist so the equivalence stays checkable
+    wave_memoization: bool = True  # memoize discovery lookups per wave
+    vectorized_scoring: bool = True  # NumPy candidate scoring in Step 2.3b
 
 
 @dataclass
@@ -164,6 +172,11 @@ def derive_next_functions(
 class BCP:
     """The probing engine bound to one overlay/pool/registry triple."""
 
+    # below this many candidates the scalar scoring loop wins on NumPy
+    # dispatch overhead; both paths produce bit-identical scores so the
+    # threshold never changes composition results
+    VECTORIZE_MIN_CANDIDATES = 24
+
     def __init__(
         self,
         overlay: Overlay,
@@ -188,6 +201,17 @@ class BCP:
         # next-hop metric then penalises candidates the request source
         # distrusts (weight = config.nexthop_weights.trust)
         self.trust = trust
+        # per-pair link QoS and per-component Qp vectors are static while
+        # the overlay/registry are (overlay.clear_caches() invalidates)
+        self._pair_qos: Dict[Tuple[int, int], QoSVector] = {}
+        self._comp_qos: Dict[int, QoSVector] = {}
+        if hasattr(overlay, "add_cache_listener"):
+            overlay.add_cache_listener(self.clear_caches)
+
+    def clear_caches(self) -> None:
+        """Drop memoized link-QoS/Qp vectors (overlay invalidation hook)."""
+        self._pair_qos.clear()
+        self._comp_qos.clear()
 
     # ------------------------------------------------------------------
     # public entry point
@@ -211,19 +235,26 @@ class BCP:
             raise ValueError(f"probing budget must be >= 1, got {beta}")
         result = CompositionResult(request=request, success=False)
         tokens: Set[Tuple] = set()
+        wave = self.registry.wave_cache() if cfg.wave_memoization else None
+        timer = PhaseTimer()
         try:
-            arrivals, discovery_time = self._probe_phase(request, beta, result, tokens, now)
+            with timer.phase("probe"):
+                arrivals, discovery_time = self._probe_phase(
+                    request, beta, result, tokens, now, wave
+                )
             result.phases["discovery"] = discovery_time
             if not arrivals:
                 result.failure_reason = "no probe reached the destination"
                 self.ledger.record("bcp_failure", 64)
                 return result
-            self._selection_phase(request, arrivals, result, tokens)
+            with timer.phase("selection"):
+                self._selection_phase(request, arrivals, result, tokens)
             if result.best is None:
                 self.ledger.record("bcp_failure", 64)
                 return result
             try:
-                self._setup_phase(request, result, tokens, confirm)
+                with timer.phase("setup"):
+                    self._setup_phase(request, result, tokens, confirm)
             except _AdmissionFailed:
                 self.ledger.record("bcp_failure", 64)
                 return result
@@ -234,6 +265,9 @@ class BCP:
                 for token in tokens:
                     self.pool.cancel(token)
                 result.session_tokens = [] if not result.success else result.session_tokens
+            # wall-clock breakdown (CPU spent in this process, distinct
+            # from the simulated-seconds keys above) — see repro.perf
+            result.phases.update(timer.as_dict(prefix="wall_"))
 
     # ------------------------------------------------------------------
     # step 1 + 2: probing
@@ -245,6 +279,7 @@ class BCP:
         result: CompositionResult,
         tokens: Set[Tuple],
         now: Optional[float],
+        wave: Optional[WaveLookupCache] = None,
     ) -> Tuple[List[Probe], float]:
         cfg = self.config
         root = Probe.initial(request, beta)
@@ -263,16 +298,14 @@ class BCP:
             if probe.at_sink:
                 arrival = self._final_hop(probe, tokens, result)
                 if arrival is not None and arrival.elapsed <= deadline:
-                    key = (
-                        arrival.graph.edges,
-                        tuple(sorted((f, m.component_id) for f, m in arrival.assignment.items())),
-                        arrival.branch,
-                    )
+                    key = arrival.dedup_key()
                     prev = arrivals.get(key)
                     if prev is None or arrival.elapsed < prev.elapsed:
                         arrivals[key] = arrival
                 continue
-            children, lookup_rtt = self._expand(probe, tokens, result, seen_children, now)
+            children, lookup_rtt = self._expand(
+                probe, tokens, result, seen_children, now, wave
+            )
             if probe.branch == ():  # the source's initial lookups = discovery phase
                 discovery_time = lookup_rtt
             for child in children:
@@ -287,6 +320,7 @@ class BCP:
         result: CompositionResult,
         seen_children: Set[Tuple],
         now: Optional[float],
+        wave: Optional[WaveLookupCache] = None,
     ) -> Tuple[List[Probe], float]:
         """Per-hop probe processing (Steps 2.1–2.4) at ``probe.current_peer``."""
         cfg = self.config
@@ -297,11 +331,13 @@ class BCP:
             return [], 0.0
         # Step 2.3a: per-function discovery of duplicated components.
         # Lookups for all next-hop functions proceed in parallel; the
-        # probe waits for the slowest one.
+        # probe waits for the slowest one.  The wave cache elides repeat
+        # DHT routing while charging the ledger for the logical query.
+        lookup = self.registry.lookup if wave is None else wave.lookup
         lookups: List[List[ServiceMetadata]] = []
         max_rtt = 0.0
         for fn, _, _, _ in candidates:
-            res = self.registry.lookup(fn, probe.current_peer, now=now)
+            res = lookup(fn, probe.current_peer, now=now)
             lookups.append(res.components)
             max_rtt = max(max_rtt, res.rtt)
         entries = [
@@ -327,11 +363,7 @@ class BCP:
                 child = self._admit(probe, fn, comp, graph, applied, child_budget, max_rtt, tokens)
                 if child is None:
                     continue
-                key = (
-                    child.graph.edges,
-                    tuple(sorted((f, m.component_id) for f, m in child.assignment.items())),
-                    child.branch,
-                )
+                key = child.dedup_key()
                 if key in seen_children:
                     continue
                 seen_children.add(key)
@@ -361,6 +393,21 @@ class BCP:
         if not self.config.metric_selection:
             idx = self.rng.choice(len(comps), size=k, replace=False)
             return [comps[i] for i in idx]
+        # the two scorers are bit-identical (the NumPy pass mirrors the
+        # scalar loop's IEEE-754 op order), so the dispatch is purely a
+        # speed choice: ufunc dispatch overhead beats the scalar loop
+        # only once the candidate list is reasonably wide
+        if self.config.vectorized_scoring and len(comps) >= self.VECTORIZE_MIN_CANDIDATES:
+            scores = self._score_components_vec(probe, comps)
+        else:
+            scores = self._score_components_scalar(probe, comps)
+        order = sorted(range(len(comps)), key=lambda i: (scores[i], comps[i].component_id))
+        return [comps[i] for i in order[:k]]
+
+    def _score_components_scalar(
+        self, probe: Probe, comps: List[ServiceMetadata]
+    ) -> List[float]:
+        """Reference scoring loop (the A/B baseline for the NumPy path)."""
         w = self.config.nexthop_weights
         delays = [self.overlay.latency(probe.current_peer, c.peer) for c in comps]
         max_delay = max(max(delays), 1e-9)
@@ -378,8 +425,44 @@ class BCP:
                 distrust = 1.0 - self.trust.trust(probe.request.source_peer, c.peer)
                 score += w.trust * distrust
             scores.append(score)
-        order = sorted(range(len(comps)), key=lambda i: (scores[i], comps[i].component_id))
-        return [comps[i] for i in order[:k]]
+        return scores
+
+    def _score_components_vec(
+        self, probe: Probe, comps: List[ServiceMetadata]
+    ) -> List[float]:
+        """One-pass NumPy scoring over the precomputed delay matrix and a
+        batched bandwidth-headroom query.  Every arithmetic step mirrors
+        the scalar loop in IEEE-754 order, so scores — and therefore the
+        ``(score, component_id)`` tie-break — are bit-identical."""
+        w = self.config.nexthop_weights
+        n = len(comps)
+        peers = [c.peer for c in comps]
+        delays = self.overlay.router.delays(probe.current_peer, peers)
+        max_delay = max(float(delays.max()), 1e-9)
+        fails = np.fromiter((self.peer_failure(p) for p in peers), dtype=float, count=n)
+        max_fail = max(float(fails.max()), 1e-9)
+        if w.bandwidth > 0:
+            ba = self.pool.path_available_bandwidth_batch(probe.current_peer, peers)
+            valid = np.isfinite(ba) & (ba > 0)
+            if valid.all():
+                bw_pen = np.minimum(probe.out_bandwidth / ba, 2.0)
+            else:
+                # zero/unreachable paths take the scalar loop's flat 2.0
+                # penalty; divide only where defined (no FP warnings)
+                bw_pen = np.full(n, 2.0)
+                quot = np.divide(
+                    probe.out_bandwidth, ba, out=np.zeros_like(ba), where=valid
+                )
+                np.minimum(quot, 2.0, out=bw_pen, where=valid)
+        else:
+            bw_pen = 0.0
+        scores = w.delay * delays / max_delay + w.bandwidth * bw_pen + w.failure * fails / max_fail
+        if self.trust is not None and w.trust > 0:
+            distrust = np.array(
+                [1.0 - self.trust.trust(probe.request.source_peer, p) for p in peers]
+            )
+            scores = scores + w.trust * distrust
+        return scores.tolist()
 
     def _admit(
         self,
@@ -409,9 +492,8 @@ class BCP:
         comp_token = (rid, "comp", comp.component_id)
         if not self._reserve_peer(comp_token, comp.peer, comp.resources, tokens):
             return None
-        elapsed = probe.elapsed + lookup_rtt + cfg.hop_processing_delay + self.overlay.latency(
-            probe.current_peer, comp.peer
-        )
+        # link_qos already carries latency(current_peer, comp.peer)
+        elapsed = probe.elapsed + lookup_rtt + cfg.hop_processing_delay + link_qos.get("delay")
         return probe.spawn(fn, comp, graph, applied, qos, budget, elapsed)
 
     def _final_hop(
@@ -423,7 +505,8 @@ class BCP:
         self.ledger.record("bcp_probe", 256)
         last = probe.last_component()
         assert last is not None
-        qos = probe.qos + self._link_qos(probe.current_peer, request.dest_peer)
+        link_qos = self._link_qos(probe.current_peer, request.dest_peer)
+        qos = probe.qos + link_qos
         if self.config.qos_pruning and request.qos.violation(qos) > 0:
             return None
         link_token = (request.request_id, "link", last.component_id, DEST_ID)
@@ -434,7 +517,7 @@ class BCP:
         elapsed = (
             probe.elapsed
             + self.config.hop_processing_delay
-            + self.overlay.latency(probe.current_peer, request.dest_peer)
+            + link_qos.get("delay")
         )
         return probe.arrived(qos, elapsed)
 
@@ -534,16 +617,27 @@ class BCP:
     # small helpers
     # ------------------------------------------------------------------
     def _link_qos(self, u: int, v: int) -> QoSVector:
+        key = (u, v)
+        hit = self._pair_qos.get(key)
+        if hit is not None:
+            return hit
         if u == v:
-            return QoSVector({"delay": 0.0, "loss": 0.0})
-        return QoSVector(
-            {"delay": self.overlay.latency(u, v), "loss": self.overlay.path_loss_add(u, v)}
-        )
+            out = QoSVector({"delay": 0.0, "loss": 0.0})
+        else:
+            out = QoSVector(
+                {"delay": self.overlay.latency(u, v), "loss": self.overlay.path_loss_add(u, v)}
+            )
+        self._pair_qos[key] = out
+        return out
 
-    @staticmethod
-    def _qp_as_qos(comp: ServiceMetadata) -> QoSVector:
+    def _qp_as_qos(self, comp: ServiceMetadata) -> QoSVector:
+        hit = self._comp_qos.get(comp.component_id)
+        if hit is not None:
+            return hit
         qp = comp.qp.values
-        return QoSVector({"delay": qp.get("delay", 0.0), "loss": qp.get("loss", 0.0)})
+        out = QoSVector({"delay": qp.get("delay", 0.0), "loss": qp.get("loss", 0.0)})
+        self._comp_qos[comp.component_id] = out
+        return out
 
     def _reserve_peer(self, token: Tuple, peer: int, res, tokens: Set[Tuple]) -> bool:
         if not self.config.soft_allocation:

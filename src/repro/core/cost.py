@@ -61,13 +61,15 @@ def psi_cost(
     if weights is None:
         weights = CostWeights.uniform(pool.resource_types)
     total = 0.0
+    res_weights = list(weights.resource_weights.items())
     for meta in graph.components():
-        avail = pool.available(meta.peer)
-        for rtype, w in weights.resource_weights.items():
-            demand = meta.resources.get(rtype)
+        resources = meta.resources
+        peer = meta.peer
+        for rtype, w in res_weights:
+            demand = resources.get(rtype)
             if w == 0.0 or demand == 0.0:
                 continue
-            a = avail.get(rtype)
+            a = pool.available_amount(peer, rtype)
             if a <= epsilon:
                 return math.inf
             total += w * demand / a

@@ -17,6 +17,7 @@ well-defined — and matches every example in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["FunctionGraph", "FunctionGraphError", "CommutationPair"]
@@ -65,19 +66,44 @@ class FunctionGraph:
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
+    # adjacency is queried on every probe hop; the graph is immutable, so
+    # the maps are computed lazily once per instance (cached_property
+    # writes straight to __dict__, which frozen dataclasses permit)
+    @cached_property
+    def _succ_map(self) -> Dict[str, Tuple[str, ...]]:
+        out: Dict[str, List[str]] = {f: [] for f in self.functions}
+        for a, b in self.edges:
+            out[a].append(b)
+        return {f: tuple(sorted(v)) for f, v in out.items()}
+
+    @cached_property
+    def _pred_map(self) -> Dict[str, Tuple[str, ...]]:
+        out: Dict[str, List[str]] = {f: [] for f in self.functions}
+        for a, b in self.edges:
+            out[b].append(a)
+        return {f: tuple(sorted(v)) for f, v in out.items()}
+
     def successors(self, f: str) -> Tuple[str, ...]:
-        return tuple(sorted(b for a, b in self.edges if a == f))
+        return self._succ_map.get(f, ())
 
     def predecessors(self, f: str) -> Tuple[str, ...]:
-        return tuple(sorted(a for a, b in self.edges if b == f))
+        return self._pred_map.get(f, ())
 
-    def sources(self) -> Tuple[str, ...]:
+    @cached_property
+    def _sources(self) -> Tuple[str, ...]:
         has_pred = {b for _, b in self.edges}
         return tuple(f for f in self.functions if f not in has_pred)
 
-    def sinks(self) -> Tuple[str, ...]:
+    @cached_property
+    def _sinks(self) -> Tuple[str, ...]:
         has_succ = {a for a, _ in self.edges}
         return tuple(f for f in self.functions if f not in has_succ)
+
+    def sources(self) -> Tuple[str, ...]:
+        return self._sources
+
+    def sinks(self) -> Tuple[str, ...]:
+        return self._sinks
 
     def is_linear(self) -> bool:
         return all(
@@ -86,6 +112,10 @@ class FunctionGraph:
         )
 
     def topological_order(self) -> List[str]:
+        return list(self._topological_order)
+
+    @cached_property
+    def _topological_order(self) -> Tuple[str, ...]:
         indeg: Dict[str, int] = {f: 0 for f in self.functions}
         for _, b in self.edges:
             indeg[b] += 1
@@ -101,7 +131,7 @@ class FunctionGraph:
             ready.sort()
         if len(order) != len(self.functions):
             raise FunctionGraphError("function graph contains a cycle")
-        return order
+        return tuple(order)
 
     def validate(self) -> None:
         fnset = set(self.functions)
@@ -234,6 +264,10 @@ class FunctionGraph:
         A linear graph has exactly one branch; Fig. 2's example has two
         (s1→s9→s13 and s1→s7→s13 at the service level).
         """
+        return list(self._branches)
+
+    @cached_property
+    def _branches(self) -> Tuple[Tuple[str, ...], ...]:
         out: List[Tuple[str, ...]] = []
 
         def dfs(f: str, path: List[str]) -> None:
@@ -246,7 +280,7 @@ class FunctionGraph:
 
         for src in self.sources():
             dfs(src, [src])
-        return sorted(out)
+        return tuple(sorted(out))
 
     def __len__(self) -> int:
         return len(self.functions)

@@ -14,8 +14,8 @@ destination merges compatible branch probes into complete service graphs
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Tuple
 
 from ..discovery.metadata import ServiceMetadata
 from .function_graph import CommutationPair, FunctionGraph
@@ -27,7 +27,7 @@ __all__ = ["Probe"]
 _probe_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Probe:
     """One in-flight composition probe (immutable; hops create children)."""
 
@@ -43,6 +43,8 @@ class Probe:
     out_bandwidth: float  # stream rate leaving the current hop
     elapsed: float = 0.0  # protocol time consumed so far (setup-time runs)
     hops: int = 0
+    # lazily computed by dedup_key(); excluded from init/equality/repr
+    _dedup: Optional[Tuple] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "assignment", dict(self.assignment))
@@ -100,11 +102,17 @@ class Probe:
 
     def arrived(self, qos: QoSVector, elapsed: float) -> "Probe":
         """The probe after its final hop to the destination peer."""
-        return replace(
-            self,
+        return Probe(
             probe_id=next(_probe_ids),
+            request=self.request,
+            graph=self.graph,
+            applied_swaps=self.applied_swaps,
+            assignment=self.assignment,
+            branch=self.branch,
             current_peer=self.request.dest_peer,
             qos=qos,
+            budget=self.budget,
+            out_bandwidth=self.out_bandwidth,
             elapsed=elapsed,
             hops=self.hops + 1,
         )
@@ -123,6 +131,23 @@ class Probe:
     def last_component(self) -> Optional[ServiceMetadata]:
         fn = self.current_function
         return self.assignment[fn] if fn is not None else None
+
+    def dedup_key(self) -> Tuple:
+        """Identity of the partial composition this probe has built.
+
+        Probes agreeing on the effective pattern, the component chosen
+        for every visited function, and the branch are duplicates: the
+        per-hop processors and the destination both keep only the
+        earliest of each key."""
+        key = self._dedup
+        if key is None:
+            key = (
+                self.graph.edges,
+                tuple(sorted((f, m.component_id) for f, m in self.assignment.items())),
+                self.branch,
+            )
+            object.__setattr__(self, "_dedup", key)
+        return key
 
     def __repr__(self) -> str:
         path = "→".join(self.branch) or "·"

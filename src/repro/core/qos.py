@@ -64,8 +64,20 @@ class QoSVector:
                 raise ValueError(f"QoS metric {k!r} must be >= 0, got {v}")
 
     @classmethod
+    def _from_trusted(cls, values: Dict[str, float]) -> "QoSVector":
+        """Construct from an already-validated plain dict.
+
+        Metric-wise arithmetic on validated vectors cannot produce a
+        negative or NaN entry, so results of ``+`` / ``elementwise_max``
+        skip the defensive copy and re-validation in ``__post_init__``
+        (they dominate BCP's per-hop admission cost)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "values", values)
+        return self
+
+    @classmethod
     def zero(cls, metrics: Iterable[str] = DEFAULT_METRICS) -> "QoSVector":
-        return cls({m: 0.0 for m in metrics})
+        return cls._from_trusted({m: 0.0 for m in metrics})
 
     def metrics(self) -> Tuple[str, ...]:
         return tuple(sorted(self.values))
@@ -78,14 +90,18 @@ class QoSVector:
             raise ValueError(
                 f"metric mismatch: {sorted(self.values)} vs {sorted(other.values)}"
             )
-        return QoSVector({m: self.values[m] + other.values[m] for m in self.values})
+        return QoSVector._from_trusted(
+            {m: self.values[m] + other.values[m] for m in self.values}
+        )
 
     def elementwise_max(self, other: "QoSVector") -> "QoSVector":
         """Metric-wise maximum — aggregates parallel DAG branches, where the
         end-to-end value is dominated by the worst branch."""
         if set(self.values) != set(other.values):
             raise ValueError("metric mismatch in elementwise_max")
-        return QoSVector({m: max(self.values[m], other.values[m]) for m in self.values})
+        return QoSVector._from_trusted(
+            {m: max(self.values[m], other.values[m]) for m in self.values}
+        )
 
     def scaled(self, factor: float) -> "QoSVector":
         if factor < 0:
@@ -126,9 +142,13 @@ class QoSRequirement:
         """Worst relative overshoot; <= 0 means satisfied."""
         if not self.bounds:
             return 0.0
-        return max(
-            (qos.values.get(m, math.inf) - b) / b for m, b in self.bounds.items()
-        )
+        values = qos.values
+        worst = -math.inf
+        for m, b in self.bounds.items():
+            v = (values.get(m, math.inf) - b) / b
+            if v > worst:
+                worst = v
+        return worst
 
     def utilisation(self, qos: QoSVector) -> float:
         """Σ qᵢ/qᵢ_req — the QoS term of the backup-count formula (Eq. 2)."""

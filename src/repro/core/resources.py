@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..topology.overlay import Overlay
 
@@ -46,8 +48,17 @@ class ResourceVector:
                 raise ValueError(f"resource {k!r} must be >= 0, got {v}")
 
     @classmethod
+    def _from_trusted(cls, values: Dict[str, float]) -> "ResourceVector":
+        """Construct from an already-validated plain dict, skipping the
+        defensive copy + validation of ``__post_init__`` (arithmetic on
+        validated vectors cannot produce negatives or NaNs)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "values", values)
+        return self
+
+    @classmethod
     def zero(cls, types: Iterable[str] = DEFAULT_RESOURCE_TYPES) -> "ResourceVector":
-        return cls({t: 0.0 for t in types})
+        return cls._from_trusted({t: 0.0 for t in types})
 
     def get(self, rtype: str) -> float:
         return self.values.get(rtype, 0.0)
@@ -57,7 +68,7 @@ class ResourceVector:
 
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
         keys = set(self.values) | set(other.values)
-        return ResourceVector(
+        return ResourceVector._from_trusted(
             {k: self.values.get(k, 0.0) + other.values.get(k, 0.0) for k in keys}
         )
 
@@ -66,7 +77,7 @@ class ResourceVector:
         out = {k: self.values.get(k, 0.0) - other.values.get(k, 0.0) for k in keys}
         if any(v < -1e-9 for v in out.values()):
             raise ValueError(f"subtraction would go negative: {out}")
-        return ResourceVector({k: max(v, 0.0) for k, v in out.items()})
+        return ResourceVector._from_trusted({k: max(v, 0.0) for k, v in out.items()})
 
     def fits_within(self, capacity: "ResourceVector") -> bool:
         return all(capacity.get(k) + 1e-12 >= v for k, v in self.values.items())
@@ -102,6 +113,7 @@ class ResourcePool:
         overlay: Overlay,
         peer_capacity: Mapping[int, ResourceVector],
         resource_types: Tuple[str, ...] = DEFAULT_RESOURCE_TYPES,
+        vectorized: bool = True,
     ) -> None:
         self.overlay = overlay
         self.resource_types = resource_types
@@ -113,12 +125,33 @@ class ResourcePool:
         self._used: Dict[int, ResourceVector] = {
             p: ResourceVector.zero(resource_types) for p in peers
         }
-        self._link_capacity: Dict[Link, float] = {
-            tuple(sorted((u, v))): float(d["bandwidth"])
-            for u, v, d in overlay.graph.edges(data=True)
-        }
-        self._link_used: Dict[Link, float] = {l: 0.0 for l in self._link_capacity}
+        # link bandwidth lives in flat arrays indexed by the router's
+        # canonical link order, so path bottleneck queries are one NumPy
+        # gather + min instead of a per-link dict-lookup loop
+        router = overlay.router
+        if hasattr(router, "link_order"):
+            link_order = list(router.link_order)
+        else:  # duck-typed router without an index (tests)
+            link_order = [tuple(sorted((u, v))) for u, v in overlay.graph.edges]
+        self._link_order: List[Link] = link_order
+        self._link_index: Dict[Link, int] = {l: i for i, l in enumerate(link_order)}
+        self._link_cap = np.array(
+            [float(overlay.graph.edges[l]["bandwidth"]) for l in link_order],
+            dtype=float,
+        )
+        self._link_used_arr = np.zeros(len(link_order), dtype=float)
+        # plain-float mirrors of the arrays: single-path bottleneck
+        # queries loop over 2-5 links, where Python floats beat NumPy
+        # scalar boxing.  Kept in sync at the two write sites
+        # (soft_allocate_path / _free); batch queries use the arrays.
+        self._link_cap_list: List[float] = self._link_cap.tolist()
+        self._link_used_list: List[float] = [0.0] * len(link_order)
+        self._vectorized = vectorized and hasattr(router, "link_indices")
         self._claims: Dict[Hashable, _Claim] = {}
+
+    def set_vectorized(self, enabled: bool) -> None:
+        """Toggle the NumPy bandwidth fast path (A/B comparison runs)."""
+        self._vectorized = enabled and hasattr(self.overlay.router, "link_indices")
 
     # ------------------------------------------------------------------
     # read side
@@ -128,28 +161,74 @@ class ResourcePool:
 
     def available(self, peer: int) -> ResourceVector:
         cap, used = self._capacity[peer], self._used[peer]
-        return ResourceVector(
+        return ResourceVector._from_trusted(
             {t: max(cap.get(t) - used.get(t), 0.0) for t in cap.types()}
         )
 
+    def available_amount(self, peer: int, rtype: str) -> float:
+        """One resource type's availability, without building a vector —
+        the ψλ evaluation loop calls this per (component, type)."""
+        return max(
+            self._capacity[peer].get(rtype) - self._used[peer].get(rtype), 0.0
+        )
+
     def link_capacity(self, link: Link) -> float:
-        return self._link_capacity[tuple(sorted(link))]
+        return float(self._link_cap[self._link_index[tuple(sorted(link))]])
 
     def link_available(self, link: Link) -> float:
-        l = tuple(sorted(link))
-        return max(self._link_capacity[l] - self._link_used[l], 0.0)
+        i = self._link_index[tuple(sorted(link))]
+        return max(float(self._link_cap[i] - self._link_used_arr[i]), 0.0)
 
     def path_available_bandwidth(self, src: int, dst: int) -> float:
         """Bottleneck available bandwidth on the routed overlay path ``℘``."""
         if src == dst:
             return math.inf
+        if self._vectorized:
+            # paths are short (2-5 links): a scalar loop over the cached
+            # index list beats a NumPy gather + reduction here
+            idx = self.overlay.router.link_index_list(src, dst)
+            if not idx:
+                return math.inf
+            cap, used = self._link_cap_list, self._link_used_list
+            low = math.inf
+            for i in idx:
+                v = cap[i] - used[i]
+                if v < low:
+                    low = v
+            return low if low > 0.0 else 0.0
         links = self.overlay.router.links(src, dst)
         if not links:
             return math.inf
         return min(self.link_available(l) for l in links)
 
+    def path_available_bandwidth_batch(self, src: int, dsts: Sequence[int]) -> np.ndarray:
+        """Bottleneck available bandwidth from ``src`` to each of ``dsts``.
+
+        The batched form of :meth:`path_available_bandwidth` BCP's
+        candidate scoring uses: availability is materialised once and
+        each path reduces over its cached link-index array."""
+        if self._vectorized:
+            cat, offsets, positions = self.overlay.router.batch_link_indices(
+                src, tuple(dsts)
+            )
+            out = np.full(len(dsts), math.inf)
+            if cat.size:
+                avail = self._link_cap[cat] - self._link_used_arr[cat]
+                out[positions] = np.maximum(
+                    np.minimum.reduceat(avail, offsets), 0.0
+                )
+            return out
+        out = np.empty(len(dsts), dtype=float)
+        for k, dst in enumerate(dsts):
+            out[k] = self.path_available_bandwidth(src, dst)
+        return out
+
     def can_host(self, peer: int, req: ResourceVector) -> bool:
-        return req.fits_within(self.available(peer))
+        cap, used = self._capacity[peer], self._used[peer]
+        return all(
+            max(cap.get(k) - used.get(k), 0.0) + 1e-12 >= v
+            for k, v in req.values.items()
+        )
 
     def can_carry(self, src: int, dst: int, bandwidth: float) -> bool:
         return self.path_available_bandwidth(src, dst) + 1e-12 >= bandwidth
@@ -172,12 +251,20 @@ class ResourcePool:
         if src == dst or bandwidth <= 0:
             return True
         links = self.overlay.router.links(src, dst)
-        if any(self.link_available(l) + 1e-12 < bandwidth for l in links):
-            return False
+        if self._vectorized:
+            idx = self.overlay.router.link_index_list(src, dst)
+            cap, used = self._link_cap_list, self._link_used_list
+            if any(max(cap[i] - used[i], 0.0) + 1e-12 < bandwidth for i in idx):
+                return False
+            for i in idx:
+                self._bump_link_used(i, bandwidth)
+        else:
+            if any(self.link_available(l) + 1e-12 < bandwidth for l in links):
+                return False
+            for l in links:
+                self._bump_link_used(self._link_index[l], bandwidth)
         claim = self._claims.setdefault(token, _Claim())
-        for l in links:
-            self._link_used[l] += bandwidth
-            claim.links.append((l, bandwidth))
+        claim.links.extend((l, bandwidth) for l in links)
         return True
 
     def confirm(self, token: Hashable) -> None:
@@ -213,11 +300,20 @@ class ResourcePool:
             raise KeyError(f"token {new_token!r} already exists")
         self._claims[new_token] = self._claims.pop(old_token)
 
+    def _bump_link_used(self, i: int, delta: float) -> None:
+        """Adjust one link's reserved bandwidth in array + float mirror."""
+        v = self._link_used_list[i] + delta
+        self._link_used_list[i] = v
+        self._link_used_arr[i] = v
+
     def _free(self, claim: _Claim) -> None:
         for peer, req in claim.peers:
             self._used[peer] = self._used[peer] - req
         for link, bw in claim.links:
-            self._link_used[link] = max(self._link_used[link] - bw, 0.0)
+            i = self._link_index[link]
+            v = max(self._link_used_list[i] - bw, 0.0)
+            self._link_used_list[i] = v
+            self._link_used_arr[i] = v
 
     # ------------------------------------------------------------------
     # introspection / invariants
@@ -241,6 +337,7 @@ class ResourcePool:
                     raise AssertionError(
                         f"peer {p} over-allocated {t}: {used.get(t)} > {cap.get(t)}"
                     )
-        for l, cap in self._link_capacity.items():
-            if self._link_used[l] > cap + 1e-6:
-                raise AssertionError(f"link {l} over-allocated: {self._link_used[l]} > {cap}")
+        for l, i in self._link_index.items():
+            used, cap = self._link_used_arr[i], self._link_cap[i]
+            if used > cap + 1e-6:
+                raise AssertionError(f"link {l} over-allocated: {used} > {cap}")

@@ -1,6 +1,6 @@
 """Decentralized keyword-based service discovery over the Pastry DHT."""
 
 from .metadata import ServiceMetadata
-from .registry import LookupResult, ServiceRegistry
+from .registry import LookupResult, ServiceRegistry, WaveLookupCache
 
-__all__ = ["LookupResult", "ServiceMetadata", "ServiceRegistry"]
+__all__ = ["LookupResult", "ServiceMetadata", "ServiceRegistry", "WaveLookupCache"]

@@ -19,7 +19,7 @@ from ..services.component import ComponentSpec, QualitySpec
 __all__ = ["ServiceMetadata"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceMetadata:
     """One duplicated component's entry in the function's meta-data list.
 

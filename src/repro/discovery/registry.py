@@ -25,7 +25,7 @@ from ..dht.pastry import PastryNetwork, RouteResult
 from ..services.component import ComponentSpec
 from .metadata import ServiceMetadata
 
-__all__ = ["ServiceRegistry", "LookupResult"]
+__all__ = ["ServiceRegistry", "LookupResult", "WaveLookupCache"]
 
 
 @dataclass
@@ -135,3 +135,52 @@ class ServiceRegistry:
 
     def registered_on(self, peer: int) -> List[ServiceMetadata]:
         return list(self._registered.get(peer, []))
+
+    def wave_cache(self, ledger=None) -> "WaveLookupCache":
+        """A fresh per-wave lookup memo (one per ``BCP.compose()`` call)."""
+        return WaveLookupCache(self, ledger=ledger)
+
+
+class WaveLookupCache:
+    """Memoizes :meth:`ServiceRegistry.lookup` within one composition wave.
+
+    During one session-setup wave, N probes crossing the same peer each
+    discover the same next-hop functions, re-routing identical DHT
+    queries (the paper's prototype amortises these).  The wave cache runs
+    the first query for a ``(peer, function)`` pair and serves repeats
+    from memory — but *replays* the original query's ledger charges and
+    RTT, so message-overhead figures and probe timing still count every
+    logical lookup.  Behaviour-preserving by construction: DHT contents,
+    liveness and routing are fixed while a wave runs, so the real repeat
+    query would return exactly the memoized answer.
+    """
+
+    def __init__(self, registry: ServiceRegistry, ledger=None) -> None:
+        self.registry = registry
+        # lookups charge the DHT's ledger, not the caller's
+        self.ledger = ledger if ledger is not None else registry.dht.ledger
+        self._memo: Dict[Tuple[int, str, bool], Tuple[LookupResult, Dict]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self,
+        function: str,
+        origin_peer: int,
+        now: Optional[float] = None,
+        include_down: bool = False,
+    ) -> LookupResult:
+        key = (origin_peer, function, include_down)
+        hit = self._memo.get(key)
+        if hit is not None:
+            result, deltas = hit
+            self.ledger.replay(deltas)
+            self.hits += 1
+            return result
+        snap = self.ledger.snapshot()
+        result = self.registry.lookup(
+            function, origin_peer, now=now, include_down=include_down
+        )
+        self._memo[key] = (result, self.ledger.delta_since(snap))
+        self.misses += 1
+        return result

@@ -1,0 +1,16 @@
+"""Performance instrumentation: wall-clock phase timers and profiling.
+
+The simulated-time breakdowns (``CompositionResult.phases`` keys
+``discovery``/``composition``/``setup_ack``) answer the *paper's*
+question — how long would setup take on a real network.  This package
+answers the *engineering* question — where does the reproduction itself
+spend CPU — with :class:`PhaseTimer` (per-phase ``perf_counter``
+accumulators BCP surfaces as ``wall_*`` keys in the same ``phases``
+dict) and :func:`profile_call` (the ``python -m repro --profile``
+backend).  See ``docs/PERFORMANCE.md``.
+"""
+
+from .profiling import profile_call
+from .timers import PhaseTimer
+
+__all__ = ["PhaseTimer", "profile_call"]

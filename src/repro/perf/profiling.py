@@ -1,0 +1,40 @@
+"""cProfile plumbing for the CLI's ``--profile`` flag."""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["profile_call"]
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    sort: str = "cumulative",
+    limit: int = 30,
+    dump_path: Optional[str] = None,
+    **kwargs: Any,
+) -> Tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is the top-``limit``
+    entries sorted by ``sort``.  ``dump_path`` additionally writes the
+    raw stats for ``snakeviz``/``pstats`` post-processing.  The profiler
+    is stopped even if ``fn`` raises, so partial profiles of failing
+    runs still dump.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+        if dump_path is not None:
+            profiler.dump_stats(dump_path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(limit)
+    return result, buffer.getvalue()

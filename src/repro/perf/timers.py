@@ -1,0 +1,42 @@
+"""Accumulating wall-clock phase timers for hot-path breakdowns."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Named ``perf_counter`` accumulators with a context-manager API.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("probe"):
+    ...     pass  # ... hot work ...
+    >>> sorted(timer.totals) == ["probe"]
+    True
+
+    Re-entering a phase accumulates (loops time their total, not their
+    last iteration).  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.totals: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + (self._clock() - start)
+
+    def as_dict(self, prefix: str = "") -> Dict[str, float]:
+        """The accumulated totals, optionally key-prefixed (``wall_``)."""
+        return {prefix + name: total for name, total in self.totals.items()}
+
+    def reset(self) -> None:
+        self.totals.clear()

@@ -32,7 +32,7 @@ class SimulationError(RuntimeError):
     """Raised for invalid simulator usage (negative delays, time travel)."""
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class EventHandle:
     """A cancellable reference to a scheduled event.
 

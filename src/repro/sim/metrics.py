@@ -199,6 +199,29 @@ class MessageLedger:
         self.count[category] += count
         self.bytes[category] += size_bytes * count if size_bytes else 0
 
+    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """A point-in-time copy of (counts, bytes) for delta accounting."""
+        return dict(self.count), dict(self.bytes)
+
+    def delta_since(self, snap: Tuple[Dict[str, int], Dict[str, int]]) -> Dict[str, Tuple[int, int]]:
+        """Per-category (count, bytes) recorded since ``snapshot()``."""
+        counts, sizes = snap
+        out: Dict[str, Tuple[int, int]] = {}
+        for cat, c in self.count.items():
+            dc = c - counts.get(cat, 0)
+            db = self.bytes.get(cat, 0) - sizes.get(cat, 0)
+            if dc or db:
+                out[cat] = (dc, db)
+        return out
+
+    def replay(self, deltas: Dict[str, Tuple[int, int]]) -> None:
+        """Re-charge a recorded delta: *logical* messages whose physical
+        transmission was elided (e.g. a memoized discovery lookup) still
+        count toward overhead figures."""
+        for cat, (dc, db) in deltas.items():
+            self.count[cat] += dc
+            self.bytes[cat] += db
+
     def total_count(self, categories: Optional[Iterable[str]] = None) -> int:
         if categories is None:
             return sum(self.count.values())

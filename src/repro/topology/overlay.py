@@ -61,6 +61,14 @@ class Overlay:
     ip_of: Optional[Dict[int, int]] = None
     ip_graph: Optional[nx.Graph] = None
     kind: str = "overlay"
+    # memoized per-pair additive loss (the overlay is static for a run;
+    # clear_caches() is the invalidation hook if it is ever rebuilt)
+    _loss_cache: Dict[Tuple[int, int], float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    # dependants keeping overlay-derived caches (e.g. BCP's per-pair link
+    # QoS) register here so clear_caches() invalidates them too
+    _cache_listeners: List = field(default_factory=list, repr=False, compare=False)
 
     @property
     def n_peers(self) -> int:
@@ -84,7 +92,24 @@ class Overlay:
         """Additive loss accumulated along the routed overlay path a→b."""
         if a == b:
             return 0.0
-        return sum(self.link_loss_add(u, v) for u, v in self.router.links(a, b))
+        key = (a, b)
+        hit = self._loss_cache.get(key)
+        if hit is None:
+            hit = sum(self.link_loss_add(u, v) for u, v in self.router.links(a, b))
+            self._loss_cache[key] = hit
+        return hit
+
+    def add_cache_listener(self, callback) -> None:
+        """Register a callback fired by :meth:`clear_caches`."""
+        self._cache_listeners.append(callback)
+
+    def clear_caches(self) -> None:
+        """Flush memoized routing state (loss sums + router path caches)
+        and notify registered dependants."""
+        self._loss_cache.clear()
+        self.router.clear_cache()
+        for callback in self._cache_listeners:
+            callback()
 
 
 def select_peers(ip_graph: nx.Graph, n_peers: int, rng=None) -> List[int]:

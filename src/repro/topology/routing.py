@@ -99,19 +99,70 @@ class OverlayRouter:
     overlay has at most ~1000 peers, so this is a few MB); exposes
     ``delay``, ``path`` (peer sequence) and ``links`` (overlay edge
     sequence) used by bandwidth admission along service links.
+
+    The overlay is static for a run, so reconstructed paths are memoized:
+    ``path``/``links``/``link_indices`` pay the predecessor-matrix walk
+    once per (src, dst) pair and serve dict hits afterwards — these are
+    the hottest calls of BCP probing (bandwidth admission and ψλ evaluate
+    them per candidate per hop).  Cached lists are shared: treat them as
+    read-only.  ``clear_cache`` (or ``set_path_cache``) is the
+    invalidation hook for the rare callers that rebuild routing state.
     """
 
-    def __init__(self, overlay_graph: nx.Graph) -> None:
+    def __init__(self, overlay_graph: nx.Graph, cache_paths: bool = True) -> None:
         self.graph = overlay_graph
         self._matrix, self._nodelist = graph_to_sparse(overlay_graph, "delay")
         self._index = {v: i for i, v in enumerate(self._nodelist)}
         self._dist, self._pred = dijkstra(
             self._matrix, directed=False, return_predecessors=True
         )
+        # canonical link ordering shared with vectorized bandwidth queries
+        # (ResourcePool keeps its capacity/usage arrays in this order)
+        self._link_order: List[Tuple[int, int]] = [
+            tuple(sorted((u, v))) for u, v in overlay_graph.edges
+        ]
+        self._link_index: Dict[Tuple[int, int], int] = {
+            l: i for i, l in enumerate(self._link_order)
+        }
+        self._cache_enabled = cache_paths
+        self._path_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._links_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._link_idx_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._link_idx_list_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._batch_idx_cache: Dict[
+            Tuple[int, Tuple[int, ...]], Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     @property
     def peers(self) -> List[int]:
         return list(self._nodelist)
+
+    @property
+    def link_order(self) -> List[Tuple[int, int]]:
+        """Canonically ordered overlay links, defining array indices."""
+        return list(self._link_order)
+
+    @property
+    def link_index(self) -> Dict[Tuple[int, int], int]:
+        """Mapping of canonical link -> index into :attr:`link_order`."""
+        return self._link_index
+
+    def index_of(self, peer: int) -> int:
+        """Matrix row/column of a peer (for delay-matrix lookups)."""
+        return self._index[peer]
+
+    def set_path_cache(self, enabled: bool) -> None:
+        """Toggle path memoization (A/B tests); always clears the cache."""
+        self._cache_enabled = enabled
+        self.clear_cache()
+
+    def clear_cache(self) -> None:
+        """Invalidation hook: drop all memoized paths/links/indices."""
+        self._path_cache.clear()
+        self._links_cache.clear()
+        self._link_idx_cache.clear()
+        self._link_idx_list_cache.clear()
+        self._batch_idx_cache.clear()
 
     def delay(self, src: int, dst: int) -> float:
         try:
@@ -119,27 +170,122 @@ class OverlayRouter:
         except KeyError as exc:
             raise KeyError(f"unknown peer {exc.args[0]}") from None
 
+    def delays(self, src: int, dsts: Sequence[int]) -> np.ndarray:
+        """Vector of delays from ``src`` to each of ``dsts`` (one slice)."""
+        i = self._index[src]
+        cols = np.fromiter(
+            (self._index[d] for d in dsts), dtype=np.intp, count=len(dsts)
+        )
+        return self._dist[i, cols]
+
     def reachable(self, src: int, dst: int) -> bool:
         return np.isfinite(self._dist[self._index[src], self._index[dst]])
 
     def path(self, src: int, dst: int) -> List[int]:
-        """Overlay peer path from src to dst (inclusive)."""
+        """Overlay peer path from src to dst (inclusive).  Read-only."""
+        key = (src, dst)
+        hit = self._path_cache.get(key)
+        if hit is not None:
+            return hit
         i, j = self._index[src], self._index[dst]
         if i == j:
-            return [src]
-        if not np.isfinite(self._dist[i, j]):
-            raise nx.NetworkXNoPath(f"no overlay path {src}->{dst}")
-        hops = [j]
-        k = j
-        while self._pred[i, k] >= 0:
-            k = self._pred[i, k]
-            hops.append(k)
-        return [self._nodelist[h] for h in reversed(hops)]
+            hops_out = [src]
+        else:
+            if not np.isfinite(self._dist[i, j]):
+                raise nx.NetworkXNoPath(f"no overlay path {src}->{dst}")
+            hops = [j]
+            k = j
+            while self._pred[i, k] >= 0:
+                k = self._pred[i, k]
+                hops.append(k)
+            hops_out = [self._nodelist[h] for h in reversed(hops)]
+        if self._cache_enabled:
+            self._path_cache[key] = hops_out
+        return hops_out
 
     def links(self, src: int, dst: int) -> List[Tuple[int, int]]:
-        """Overlay links (canonically ordered pairs) along the path."""
+        """Overlay links (canonically ordered pairs) along the path.
+        Read-only: the returned list is shared with the cache."""
+        key = (src, dst)
+        hit = self._links_cache.get(key)
+        if hit is not None:
+            return hit
         hops = self.path(src, dst)
-        return [tuple(sorted((a, b))) for a, b in zip(hops, hops[1:])]
+        out = [tuple(sorted((a, b))) for a, b in zip(hops, hops[1:])]
+        if self._cache_enabled:
+            self._links_cache[key] = out
+        return out
+
+    def link_indices(self, src: int, dst: int) -> np.ndarray:
+        """Indices (into :attr:`link_order`) of the path's links — the
+        vectorized form of :meth:`links` for NumPy availability arrays."""
+        key = (src, dst)
+        hit = self._link_idx_cache.get(key)
+        if hit is not None:
+            return hit
+        ls = self.links(src, dst)
+        out = np.fromiter(
+            (self._link_index[l] for l in ls), dtype=np.intp, count=len(ls)
+        )
+        if self._cache_enabled:
+            self._link_idx_cache[key] = out
+        return out
+
+    def link_index_list(self, src: int, dst: int) -> List[int]:
+        """:meth:`link_indices` as a plain Python list.
+
+        Typical overlay paths are 2–5 links, where a Python loop over int
+        indices beats a NumPy gather+reduce — single-path bottleneck
+        queries use this, batched ones use :meth:`batch_link_indices`."""
+        key = (src, dst)
+        hit = self._link_idx_list_cache.get(key)
+        if hit is not None:
+            return hit
+        out = [self._link_index[l] for l in self.links(src, dst)]
+        if self._cache_enabled:
+            self._link_idx_list_cache[key] = out
+        return out
+
+    def batch_link_indices(
+        self, src: int, dsts: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated link indices for many destinations at once.
+
+        Returns ``(cat, offsets, positions)``: ``cat`` is every non-empty
+        path's link indices back-to-back, ``offsets`` the start of each
+        segment (ready for ``np.minimum.reduceat``), and ``positions``
+        the index into ``dsts`` each segment belongs to (``src`` itself
+        and zero-link paths are skipped — their bottleneck is +inf)."""
+        key = (src, dsts)
+        hit = self._batch_idx_cache.get(key)
+        if hit is not None:
+            return hit
+        arrays: List[np.ndarray] = []
+        offsets: List[int] = []
+        positions: List[int] = []
+        total = 0
+        for k, dst in enumerate(dsts):
+            if dst == src:
+                continue
+            ia = self.link_indices(src, dst)
+            if ia.size == 0:
+                continue
+            arrays.append(ia)
+            offsets.append(total)
+            positions.append(k)
+            total += ia.size
+        if arrays:
+            out = (
+                np.concatenate(arrays),
+                np.array(offsets, dtype=np.intp),
+                np.array(positions, dtype=np.intp),
+            )
+        else:
+            empty = np.empty(0, dtype=np.intp)
+            out = (empty, empty, empty)
+        if self._cache_enabled:
+            self._batch_idx_cache[key] = out
+        return out
 
     def delay_matrix(self) -> np.ndarray:
         """The full pairwise delay matrix, indexed by :attr:`peers` order."""
