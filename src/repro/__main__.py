@@ -1,22 +1,35 @@
-"""Command-line interface: ``python -m repro <experiment> [options]``.
+"""Command-line interface: ``python -m repro <subcommand> [options]``.
 
-Regenerates the paper's evaluation from the shell::
+Experiment subcommands regenerate the paper's evaluation in simulated
+virtual time::
 
-    python -m repro fig8               # success ratio vs workload
-    python -m repro fig9 --quick       # failure recovery (reduced scale)
-    python -m repro fig10
-    python -m repro fig11 --plot       # with a terminal chart
+    python -m repro fig8                 # success ratio vs workload
+    python -m repro fig9 --quick         # failure recovery (reduced scale)
+    python -m repro fig10 --trace t.jsonl
+    python -m repro fig11 --plot         # with a terminal chart
     python -m repro overhead
     python -m repro trust
     python -m repro all --quick
 
-``--quick`` shrinks every experiment to smoke-test scale (seconds);
-``--seed`` re-rolls the randomness; ``--plot`` adds Unicode charts.
+Live subcommands run the same protocol over real asyncio transports
+(:mod:`repro.net`)::
+
+    python -m repro compose-live                   # loopback cluster
+    python -m repro compose-live --transport tcp --peers 10 --requests 5
+    python -m repro serve --peers 5 --duration 30  # keep a cluster up
+
+Common options: ``--quick`` shrinks every experiment to smoke-test scale
+(seconds); ``--seed`` re-rolls the randomness; ``--plot`` adds Unicode
+charts; ``--profile`` (with optional ``--profile-dump PATH``) runs under
+cProfile; ``--trace PATH`` writes a structured JSONL event log — the
+same :class:`~repro.sim.tracing.EventTrace` format in simulated and
+live mode, so the two runtimes produce comparable logs.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
 import sys
 from typing import List, Optional
@@ -37,6 +50,7 @@ from .experiments import (
 )
 from .experiments.plotting import ascii_chart
 from .perf import profile_call
+from .sim.tracing import EventTrace
 
 __all__ = ["main"]
 
@@ -80,31 +94,88 @@ _Y_LABELS = {
     "trust": "clean rate",
 }
 
+_EXPERIMENT_HELP = {
+    "fig8": "success ratio vs workload (five algorithms)",
+    "fig9": "failure recovery with vs without backups",
+    "fig10": "session setup time vs function number",
+    "fig11": "service delay vs probing budget",
+    "overhead": "BCP vs centralized message overhead",
+    "trust": "trust-aware composition extension",
+    "all": "run every experiment in sequence",
+}
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="SpiderNet (HPDC 2004) reproduction — experiment runner",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_RUNNERS) + ["all"],
-        help="which paper result to regenerate",
-    )
-    parser.add_argument("--quick", action="store_true", help="smoke-test scale")
-    parser.add_argument("--seed", type=int, default=None, help="override the RNG seed")
-    parser.add_argument("--plot", action="store_true", help="render terminal charts")
-    parser.add_argument(
+
+def _add_experiment_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--quick", action="store_true", help="smoke-test scale")
+    sub.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    sub.add_argument("--plot", action="store_true", help="render terminal charts")
+    sub.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile and print the hottest functions",
     )
-    parser.add_argument(
+    sub.add_argument(
         "--profile-dump",
         metavar="PATH",
         default=None,
         help="with --profile: also write raw pstats data to PATH "
         "(one experiment per invocation)",
+    )
+    sub.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL event log (EventTrace format)",
+    )
+
+
+def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--peers", type=int, default=5, help="overlay peers to host")
+    sub.add_argument("--functions", type=int, default=6, help="service functions")
+    sub.add_argument(
+        "--transport", choices=("loopback", "tcp"), default="loopback",
+        help="loopback queues or real TCP sockets on localhost",
+    )
+    sub.add_argument(
+        "--port-base", type=int, default=None,
+        help="tcp: peer p listens on port-base+p (default: OS-assigned)",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="environment RNG seed")
+    sub.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL event log (EventTrace format)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpiderNet (HPDC 2004) reproduction — "
+        "experiment runner and live peer runtime",
+    )
+    subs = parser.add_subparsers(dest="experiment", required=True, metavar="subcommand")
+    for name in sorted(_RUNNERS) + ["all"]:
+        sub = subs.add_parser(name, help=_EXPERIMENT_HELP[name])
+        _add_experiment_options(sub)
+    serve = subs.add_parser(
+        "serve", help="boot a live cluster of peer daemons and keep it running"
+    )
+    _add_cluster_options(serve)
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: until interrupted)",
+    )
+    live = subs.add_parser(
+        "compose-live", help="boot a live cluster and compose requests over the wire"
+    )
+    _add_cluster_options(live)
+    live.add_argument("--requests", type=int, default=3, help="compositions to run")
+    live.add_argument("--budget", type=int, default=None, help="probing budget override")
+    live.add_argument(
+        "--kill", type=int, default=None, metavar="PEER",
+        help="kill this peer after the first composition (exercises retry)",
     )
     return parser
 
@@ -123,17 +194,18 @@ def _run_one(
     plot: bool,
     profile: bool = False,
     profile_dump: Optional[str] = None,
+    trace: Optional[EventTrace] = None,
 ) -> None:
     print(f"=== {name} {'(quick)' if quick else ''} ===", flush=True)
     cfg = _config_for(name, quick, seed)
     if profile:
         result, report = profile_call(
-            _RUNNERS[name], cfg, verbose=True, dump_path=profile_dump
+            _RUNNERS[name], cfg, verbose=True, trace=trace, dump_path=profile_dump
         )
         print()
         print(report)
     else:
-        result = _RUNNERS[name](cfg, verbose=True)
+        result = _RUNNERS[name](cfg, verbose=True, trace=trace)
     if hasattr(result, "table"):
         print()
         print(result.table())
@@ -143,19 +215,102 @@ def _run_one(
     print()
 
 
+def _build_cluster(args, trace: Optional[EventTrace]):
+    from .net import ClusterConfig, LiveCluster
+
+    cfg = ClusterConfig(
+        n_peers=args.peers,
+        n_functions=args.functions,
+        transport=args.transport,
+        port_base=args.port_base,
+        seed=args.seed,
+    )
+    return LiveCluster(cfg, trace=trace)
+
+
+async def _serve(args, trace: Optional[EventTrace]) -> int:
+    cluster = _build_cluster(args, trace)
+    async with cluster:
+        addrs = getattr(cluster.transport, "addresses", {})
+        print(f"live cluster up: {args.peers} peers over {args.transport}", flush=True)
+        for peer, addr in sorted(addrs.items()):
+            print(f"  peer {peer}: {addr[0]}:{addr[1]}")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+    print("cluster stopped")
+    return 0
+
+
+async def _compose_live(args, trace: Optional[EventTrace]) -> int:
+    cluster = _build_cluster(args, trace)
+    failures = 0
+    async with cluster:
+        from .net.rpc import RpcError
+
+        requests = cluster.scenario.requests.batch(args.requests)
+        for i, request in enumerate(requests):
+            try:
+                result = await cluster.compose(request, budget=args.budget, timeout=60)
+            except RpcError as exc:
+                # e.g. the request's own source or dest peer was killed
+                print(f"  request {request.request_id}: FAILED ({exc})")
+                failures += 1
+                continue
+            status = "ok" if result.success else f"FAILED ({result.failure_reason})"
+            print(
+                f"  request {request.request_id}: {status} — "
+                f"{result.probes_sent} probes, "
+                f"{result.candidates_examined} candidates, "
+                f"setup {result.setup_time * 1000:.0f} ms (virtual)"
+            )
+            failures += 0 if result.success else 1
+            if args.kill is not None and i == 0:
+                if args.kill in (request.source_peer, request.dest_peer):
+                    print(f"  not killing endpoint peer {args.kill}")
+                else:
+                    cluster.kill_peer(args.kill)
+                    print(f"  killed peer {args.kill}")
+        stats = cluster.rpc_stats()
+        print(
+            f"  wire: {stats['frames_sent']} frames / {stats['bytes_sent']} bytes, "
+            f"{stats['retries_performed']} RPC retries"
+        )
+        if cluster.errors():
+            print(f"  daemon errors: {cluster.errors()}")
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        _run_one(
-            name,
-            args.quick,
-            args.seed,
-            args.plot,
-            profile=args.profile,
-            profile_dump=args.profile_dump,
-        )
-    return 0
+    trace = EventTrace() if getattr(args, "trace", None) else None
+    try:
+        if args.experiment == "serve":
+            return asyncio.run(_serve(args, trace))
+        if args.experiment == "compose-live":
+            return asyncio.run(_compose_live(args, trace))
+        names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+        for name in names:
+            _run_one(
+                name,
+                args.quick,
+                args.seed,
+                args.plot,
+                profile=args.profile,
+                profile_dump=args.profile_dump,
+                trace=trace,
+            )
+        return 0
+    finally:
+        if trace is not None:
+            n = trace.to_jsonl(args.trace)
+            print(f"wrote {n} trace events to {args.trace}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -344,10 +344,13 @@ class AsyncBCP:
         request = comp.request
         graph = result.best
         alive_ok = all(self.bcp.alive(p) for p in graph.peers())
+        # same-peer hops never reserved a link token (BCP._reserve_path),
+        # so only the tokens that must exist can count as expired
+        required = self.bcp._required_tokens(graph, request.request_id)
         if comp.confirm and self.bcp.config.soft_allocation:
             tokens_ok = all(
                 token in comp.tokens and self.bcp.pool.has_token(token)
-                for token in keep
+                for token in required
             )
         else:
             tokens_ok = True
@@ -363,13 +366,13 @@ class AsyncBCP:
         result.phases["setup_ack"] = ack_time
         result.setup_time = (self.sim.now - comp.started_at)
         if comp.confirm and self.bcp.config.soft_allocation:
-            for token in keep:
+            for token in required:
                 timer = comp.token_timers.pop(token, None)
                 if timer is not None:
                     timer.cancel()
                 self.bcp.pool.confirm(token)
             comp.tokens -= keep
-            result.session_tokens = sorted(keep)
+            result.session_tokens = sorted(required)
         result.success = True
         self._finish(comp, result)
 

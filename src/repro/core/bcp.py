@@ -613,6 +613,25 @@ class BCP:
             keep.add((rid, "link", from_id, to_id))
         return keep
 
+    def _required_tokens(self, graph: ServiceGraph, rid: int) -> Set[Tuple]:
+        """The subset of ``_tokens_of`` that was actually reserved.
+
+        ``_reserve_path`` never allocates for a same-peer hop (e.g. the
+        last component hosted on the destination itself), so those link
+        tokens exist in the keep set but not in the pool.  Setup-ack
+        checks must not treat them as expired reservations."""
+        cid_peer = {m.component_id: m.peer for m in graph.assignment.values()}
+        required: Set[Tuple] = set()
+        for token in self._tokens_of(graph, rid):
+            if token[1] == "link":
+                _, _, from_id, to_id = token
+                u = graph.source_peer if from_id == SOURCE_ID else cid_peer[from_id]
+                v = graph.dest_peer if to_id == DEST_ID else cid_peer[to_id]
+                if u == v:
+                    continue
+            required.add(token)
+        return required
+
     # ------------------------------------------------------------------
     # small helpers
     # ------------------------------------------------------------------

@@ -45,8 +45,14 @@ class Fig10Result:
         return format_table("functions", self.series, float_fmt="{:.0f}")
 
 
-def run_fig10(config: Optional[Fig10Config] = None, verbose: bool = False) -> Fig10Result:
-    """Regenerate Figure 10 (setup time split by protocol phase, in ms)."""
+def run_fig10(
+    config: Optional[Fig10Config] = None, verbose: bool = False, trace=None
+) -> Fig10Result:
+    """Regenerate Figure 10 (setup time split by protocol phase, in ms).
+
+    ``trace`` records one ``composition`` event per request — the same
+    category a live cluster emits, so sim and live runs produce
+    comparable JSONL logs."""
     cfg = config or Fig10Config()
     scenario = planetlab_testbed(
         n_peers=cfg.n_peers,
@@ -70,6 +76,12 @@ def run_fig10(config: Optional[Fig10Config] = None, verbose: bool = False) -> Fi
             request = requests.next_request(n_functions=k)
             result = net.compose(request, budget=cfg.budget, confirm=False)
             n += 1
+            if trace is not None:
+                trace.record(
+                    "composition", time=net.sim.now, request=request.request_id,
+                    functions=k, success=result.success,
+                    probes=result.probes_sent, setup_time=result.setup_time,
+                )
             if not result.success:
                 continue
             ok += 1

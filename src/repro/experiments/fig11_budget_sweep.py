@@ -45,8 +45,12 @@ class Fig11Result:
         return format_table("budget", self.series, float_fmt="{:.0f}")
 
 
-def run_fig11(config: Optional[Fig11Config] = None, verbose: bool = False) -> Fig11Result:
-    """Regenerate Figure 11 (avg service delay vs probing budget)."""
+def run_fig11(
+    config: Optional[Fig11Config] = None, verbose: bool = False, trace=None
+) -> Fig11Result:
+    """Regenerate Figure 11 (avg service delay vs probing budget).
+
+    ``trace`` records one ``experiment_point`` event per budget."""
     cfg = config or Fig11Config()
     scenario = planetlab_testbed(
         n_peers=cfg.n_peers,
@@ -101,6 +105,12 @@ def run_fig11(config: Optional[Fig11Config] = None, verbose: bool = False) -> Fi
         random_series.add(budget, mean_delay(random_delays))
         spider_series.add(budget, mean_delay(spider_delays))
         optimal_series.add(budget, mean_delay(optimal_delays))
+        if trace is not None:
+            trace.record(
+                "experiment_point", time=float(budget), experiment="fig11",
+                budget=budget, spidernet_ms=spider_series.y[-1],
+                random_ms=random_series.y[-1], optimal_ms=optimal_series.y[-1],
+            )
         if verbose:
             print(
                 f"  budget {budget:5d}: SpiderNet {spider_series.y[-1]:.0f} ms "

@@ -142,8 +142,13 @@ def _run_point(cfg: Fig8Config, algorithm: str, workload: int) -> Tuple[float, f
     return meter.ratio, msgs / total_requests
 
 
-def run_fig8(config: Optional[Fig8Config] = None, verbose: bool = False) -> Fig8Result:
-    """Regenerate Figure 8's curves (success ratio vs workload)."""
+def run_fig8(
+    config: Optional[Fig8Config] = None, verbose: bool = False, trace=None
+) -> Fig8Result:
+    """Regenerate Figure 8's curves (success ratio vs workload).
+
+    ``trace`` (a :class:`~repro.sim.tracing.EventTrace`) records one
+    ``experiment_point`` event per measured cell."""
     cfg = config or Fig8Config()
     series = [Series(a) for a in _algorithms(cfg)]
     msg_totals: Dict[str, List[float]] = {a: [] for a in _algorithms(cfg)}
@@ -152,6 +157,12 @@ def run_fig8(config: Optional[Fig8Config] = None, verbose: bool = False) -> Fig8
             ratio, msgs = _run_point(cfg, s.label, workload)
             s.add(workload, ratio)
             msg_totals[s.label].append(msgs)
+            if trace is not None:
+                trace.record(
+                    "experiment_point", time=float(workload), experiment="fig8",
+                    algorithm=s.label, workload=workload,
+                    success_ratio=ratio, messages_per_request=msgs,
+                )
             if verbose:
                 print(f"  {s.label:>12s} @ {workload:3d} req/tu: success={ratio:.3f}")
     result = Fig8Result(

@@ -59,7 +59,7 @@ class Fig9Result:
         return format_table("time(min)", self.series, float_fmt="{:.1f}")
 
 
-def _run_mode(cfg: Fig9Config, proactive: bool) -> Tuple[Series, object]:
+def _run_mode(cfg: Fig9Config, proactive: bool, trace=None) -> Tuple[Series, object]:
     scenario = simulation_testbed(
         n_ip=cfg.n_ip,
         n_peers=cfg.n_peers,
@@ -84,6 +84,11 @@ def _run_mode(cfg: Fig9Config, proactive: bool) -> Tuple[Series, object]:
     net = scenario.net
     failures = RateOverTime(bin_width=1.0)
     net.sessions.on_failure(lambda t, recovered: None if recovered else failures.record(t))
+    if trace is not None:
+        from ..sim.tracing import trace_churn, trace_sessions
+
+        trace_churn(net.churn, trace)
+        trace_sessions(net.sessions, trace)
 
 
     def replenish_sessions() -> None:
@@ -107,11 +112,16 @@ def _run_mode(cfg: Fig9Config, proactive: bool) -> Tuple[Series, object]:
     return series, net.sessions.stats
 
 
-def run_fig9(config: Optional[Fig9Config] = None, verbose: bool = False) -> Fig9Result:
-    """Regenerate Figure 9 (plus the §6.1 backup-count claim)."""
+def run_fig9(
+    config: Optional[Fig9Config] = None, verbose: bool = False, trace=None
+) -> Fig9Result:
+    """Regenerate Figure 9 (plus the §6.1 backup-count claim).
+
+    ``trace`` records churn departures/arrivals and per-session failure
+    events (recovered or not) from both runs."""
     cfg = config or Fig9Config()
-    without_series, without_stats = _run_mode(cfg, proactive=False)
-    with_series, with_stats = _run_mode(cfg, proactive=True)
+    without_series, without_stats = _run_mode(cfg, proactive=False, trace=trace)
+    with_series, with_stats = _run_mode(cfg, proactive=True, trace=trace)
     recovered = with_stats.proactive_recoveries + with_stats.reactive_recoveries
     total_failures = max(with_stats.failures, 1)
     result = Fig9Result(

@@ -86,8 +86,13 @@ def _build(cfg: OverheadConfig):
     )
 
 
-def run_overhead(config: Optional[OverheadConfig] = None, verbose: bool = False) -> OverheadResult:
-    """Count protocol messages for the same workload under both schemes."""
+def run_overhead(
+    config: Optional[OverheadConfig] = None, verbose: bool = False, trace=None
+) -> OverheadResult:
+    """Count protocol messages for the same workload under both schemes.
+
+    ``trace`` records one ``experiment_point`` per scheme with the
+    category breakdown."""
     cfg = config or OverheadConfig()
 
     # --- SpiderNet / BCP side -----------------------------------------
@@ -139,6 +144,17 @@ def run_overhead(config: Optional[OverheadConfig] = None, verbose: bool = False)
     centralized_messages = sum(centralized_breakdown.values())
     held2.release_all()
 
+    if trace is not None:
+        trace.record(
+            "experiment_point", time=0.0, experiment="overhead",
+            scheme="spidernet", messages=bcp_messages,
+            success=bcp_success, breakdown=dict(bcp_breakdown),
+        )
+        trace.record(
+            "experiment_point", time=0.0, experiment="overhead",
+            scheme="centralized", messages=centralized_messages,
+            success=meter2.ratio, breakdown=dict(centralized_breakdown),
+        )
     result = OverheadResult(
         config=cfg,
         bcp_messages=bcp_messages,

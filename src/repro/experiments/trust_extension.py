@@ -112,10 +112,19 @@ def _run_mode(cfg: TrustConfig, use_trust: bool) -> Series:
     return series
 
 
-def run_trust_extension(config: Optional[TrustConfig] = None, verbose: bool = False) -> TrustResult:
+def run_trust_extension(
+    config: Optional[TrustConfig] = None, verbose: bool = False, trace=None
+) -> TrustResult:
     cfg = config or TrustConfig()
     baseline = _run_mode(cfg, use_trust=False)
     aware = _run_mode(cfg, use_trust=True)
+    if trace is not None:
+        for s in (baseline, aware):
+            for x, y in zip(s.x, s.y):
+                trace.record(
+                    "experiment_point", time=float(x), experiment="trust",
+                    mode=s.label, sessions=int(x), clean_rate=y,
+                )
     result = TrustResult(
         config=cfg,
         series=[baseline, aware],

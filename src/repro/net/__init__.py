@@ -1,0 +1,62 @@
+"""Live peer runtime: the SpiderNet protocols over real asyncio transports.
+
+The reproduction has three execution substrates for the same protocol
+logic (see ``docs/ARCHITECTURE.md``):
+
+* the synchronous wave execution in :mod:`repro.core.bcp`,
+* the simulated event-driven execution in :mod:`repro.core.async_bcp`,
+* this package — a **live runtime** where probes, session acks and
+  maintenance pings are length-prefixed frames on asyncio transports.
+
+All three call the same wrapped :class:`~repro.core.bcp.BCP` per-hop
+methods, so Steps 2.1–2.4 of the paper's protocol exist exactly once.
+
+Modules
+-------
+``codec``      versioned wire frames + ``to_wire``/``from_wire``
+``transport``  ``LoopbackTransport`` (queues, injectable latency/loss)
+               and ``TcpTransport`` (streams, connection pool)
+``rpc``        request/response with timeouts, retries + backoff, dedup
+``peer``       the peer daemon (probe processing, soft-state timers,
+               session ack handling, maintenance pings)
+``accounting`` ``MessageLedger`` adapter mapping wire frames onto the
+               simulation's overhead-accounting categories
+``cluster``    boots N peers on localhost and composes end-to-end
+"""
+
+from .accounting import LedgerTap
+from .codec import (
+    CodecError,
+    FrameReader,
+    WIRE_VERSION,
+    decode_frame,
+    encode_frame,
+    from_wire,
+    to_wire,
+)
+from .cluster import ClusterConfig, LiveCluster
+from .peer import PeerDaemon
+from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError, RpcTimeout
+from .transport import LoopbackTransport, TcpTransport, TransportError
+
+__all__ = [
+    "CodecError",
+    "FrameReader",
+    "WIRE_VERSION",
+    "decode_frame",
+    "encode_frame",
+    "from_wire",
+    "to_wire",
+    "LoopbackTransport",
+    "TcpTransport",
+    "TransportError",
+    "RetryPolicy",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcTimeout",
+    "DedupCache",
+    "LedgerTap",
+    "PeerDaemon",
+    "ClusterConfig",
+    "LiveCluster",
+]

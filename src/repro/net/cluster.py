@@ -1,0 +1,238 @@
+"""Boot a live SpiderNet cluster on localhost.
+
+:class:`LiveCluster` builds the same environment as the simulated
+testbed (overlay, resource pool, DHT-backed registry, components), then
+hosts every overlay peer as a :class:`~repro.net.peer.PeerDaemon` on a
+shared transport — loopback queues or real TCP sockets — and runs
+compositions end-to-end over the wire:
+
+.. code-block:: python
+
+    async with LiveCluster(ClusterConfig(n_peers=10)) as cluster:
+        request = cluster.scenario.requests.next_request()
+        result = await cluster.compose(request)
+
+The cluster keeps the *state* in-process (one shared overlay, pool and
+registry — the daemons are separate actors over shared ground truth)
+while every protocol step crosses the transport as encoded frames.  The
+shared :class:`~repro.net.accounting.LedgerTap` wraps the SpiderNet
+ledger, so sim-category books (``bcp_probe`` …) and live wire books
+(``net_*``) land in one place.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.bcp import BCPConfig, CompositionResult
+from ..core.request import CompositeRequest
+from ..workload.generator import RequestConfig
+from ..workload.scenarios import Scenario, simulation_testbed
+from .accounting import LedgerTap
+from .peer import PeerDaemon
+from .rpc import RetryPolicy, RpcEndpoint
+from .transport import LoopbackTransport, TcpTransport
+
+__all__ = ["ClusterConfig", "LiveCluster"]
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for a localhost cluster (defaults are smoke-test sized)."""
+
+    n_peers: int = 5
+    n_functions: int = 6
+    n_ip: int = 0  # 0 -> derived from n_peers
+    transport: str = "loopback"  # "loopback" | "tcp"
+    latency: Union[float, Callable[[int, int], float]] = 0.0  # loopback one-way delay
+    loss: float = 0.0  # loopback frame-loss probability
+    port_base: Optional[int] = None  # tcp: fixed ports; None -> OS-assigned
+    seed: int = 0
+    overlay_kind: str = "mesh"
+    overlay_degree: int = 4
+    components_per_peer: Tuple[int, int] = (1, 3)
+    bcp_config: Optional[BCPConfig] = None
+    request_config: Optional[RequestConfig] = None
+    capacity_scale: float = 1.0
+    soft_timeout: float = 30.0  # reservation expiry (paper's soft state)
+    collect_wall_timeout: float = 10.0  # dest fallback when credit is lost
+    probe_retry: Optional[RetryPolicy] = None
+    control_retry: Optional[RetryPolicy] = None
+    maint_interval: Optional[float] = None  # source-side session pings; None = off
+
+
+class LiveCluster:
+    """N live peers on one transport, sharing a built scenario."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        scenario: Optional[Scenario] = None,
+        trace=None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        if scenario is None:
+            scenario = simulation_testbed(
+                n_ip=cfg.n_ip or max(4 * cfg.n_peers, 64),
+                n_peers=cfg.n_peers,
+                n_functions=cfg.n_functions,
+                overlay_kind=cfg.overlay_kind,
+                overlay_degree=cfg.overlay_degree,
+                components_per_peer=cfg.components_per_peer,
+                request_config=cfg.request_config,
+                bcp_config=cfg.bcp_config,
+                capacity_scale=cfg.capacity_scale,
+                seed=cfg.seed,
+            )
+        self.scenario = scenario
+        self.net = scenario.net
+        self.trace = trace
+        # one tap over the SpiderNet ledger: BCP._final_hop / registry
+        # charges and the live wire books share a single MessageLedger
+        self.tap = LedgerTap(self.net.ledger)
+        self._counters: Dict[int, int] = {}  # rid -> probes sent, all daemons
+        self._t0 = 0.0
+        if cfg.transport == "loopback":
+            self.transport = LoopbackTransport(
+                latency=cfg.latency, loss=cfg.loss, seed=cfg.seed, tap=self.tap.on_frame
+            )
+        elif cfg.transport == "tcp":
+            self.transport = TcpTransport(port_base=cfg.port_base, tap=self.tap.on_frame)
+        else:
+            raise ValueError(f"unknown transport {cfg.transport!r} (loopback|tcp)")
+        self.daemons: Dict[int, PeerDaemon] = {}
+        for peer in sorted(scenario.overlay.peers()):
+            endpoint = RpcEndpoint(
+                self.transport, peer, retry=cfg.control_retry, seed=cfg.seed + peer
+            )
+            self.daemons[peer] = PeerDaemon(
+                peer_id=peer,
+                bcp=self.net.bcp,
+                endpoint=endpoint,
+                peers=sorted(scenario.overlay.peers()),
+                counters=self._counters,
+                tap=self.tap,
+                trace=trace,
+                clock=self._clock,
+                soft_timeout=cfg.soft_timeout,
+                collect_wall_timeout=cfg.collect_wall_timeout,
+                probe_retry=cfg.probe_retry,
+                control_retry=cfg.control_retry,
+                maint_interval=cfg.maint_interval,
+            )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        return time.monotonic() - self._t0
+
+    @property
+    def ledger(self):
+        return self.net.ledger
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "LiveCluster":
+        self._t0 = time.monotonic()
+        await self.transport.start()
+        self._started = True
+        if self.trace is not None:
+            self.trace.record(
+                "cluster_started", time=0.0,
+                peers=len(self.daemons), transport=self.config.transport,
+            )
+        return self
+
+    async def stop(self) -> None:
+        for daemon in self.daemons.values():
+            daemon.stop()
+        for daemon in self.daemons.values():
+            await daemon.drain()
+        await self.transport.close()
+        self._started = False
+        if self.trace is not None:
+            self.trace.record("cluster_stopped", time=self._clock())
+
+    async def __aenter__(self) -> "LiveCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def compose(
+        self,
+        request: CompositeRequest,
+        budget: Optional[int] = None,
+        confirm: bool = True,
+        timeout: Optional[float] = None,
+    ) -> CompositionResult:
+        """Run one composition from the request's source daemon."""
+        if not self._started:
+            raise RuntimeError("cluster not started")
+        daemon = self.daemons.get(request.source_peer)
+        if daemon is None:
+            raise ValueError(f"no daemon hosts source peer {request.source_peer}")
+        return await daemon.start_compose(
+            request, budget=budget, confirm=confirm, timeout=timeout
+        )
+
+    async def compose_many(
+        self,
+        requests,
+        budget: Optional[int] = None,
+        confirm: bool = True,
+        timeout: Optional[float] = None,
+    ) -> List[CompositionResult]:
+        """Compose a batch sequentially (each sees the previous sessions' load)."""
+        return [
+            await self.compose(r, budget=budget, confirm=confirm, timeout=timeout)
+            for r in requests
+        ]
+
+    def kill_peer(self, peer_id: int) -> None:
+        """Crash a peer: its daemon stops and its transport goes dark.
+
+        The registry is deliberately *not* told — stale entries keep
+        routing probes at the dead peer, which is what exercises the
+        RPC retry/backoff and credit-loss paths."""
+        if peer_id not in self.daemons:
+            raise ValueError(f"no such peer {peer_id}")
+        self.daemons[peer_id].stop()
+        self.transport.kill(peer_id)
+        if self.trace is not None:
+            self.trace.record("peer_killed", time=self._clock(), peer=peer_id)
+
+    # ------------------------------------------------------------------
+    # introspection (tests / CLI)
+    # ------------------------------------------------------------------
+    def soft_tokens(self) -> Dict[int, set]:
+        """Outstanding soft reservations per live daemon (rid -> tokens)."""
+        out: Dict[int, set] = {}
+        for daemon in self.daemons.values():
+            for rid, tokens in daemon._tokens.items():
+                if tokens:
+                    out.setdefault(rid, set()).update(tokens)
+        return out
+
+    def errors(self) -> List[str]:
+        """Daemon task failures — should be empty after a clean run."""
+        return [e for d in self.daemons.values() for e in d.errors]
+
+    def rpc_stats(self) -> Dict[str, int]:
+        calls = sum(d.endpoint.calls_sent for d in self.daemons.values())
+        retries = sum(d.endpoint.retries_performed for d in self.daemons.values())
+        return {
+            "calls_sent": calls,
+            "retries_performed": retries,
+            "frames_sent": self.transport.frames_sent,
+            "bytes_sent": self.transport.bytes_sent,
+            "frames_dropped": self.transport.frames_dropped,
+        }

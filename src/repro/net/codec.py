@@ -1,0 +1,490 @@
+"""Versioned wire codec for the live runtime.
+
+Frames are ``MAGIC (2) | version (1) | payload length (4, big-endian) |
+payload`` where the payload is a compact JSON document.  Typed protocol
+objects — probes, QoS vectors, requests, service graphs, session/ack/
+maintenance messages — are embedded as ``{"__w": <tag>, "p": {...}}``
+nodes so :func:`from_wire` reconstructs the exact dataclasses the
+protocol code operates on: ``from_wire(to_wire(x)) == x`` for every
+registered type (the codec round-trip tests assert this property).
+
+Unknown versions, unknown type tags, truncated frames and oversized
+frames all raise :class:`CodecError` — a peer never processes a frame it
+cannot fully and unambiguously decode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..core.function_graph import FunctionGraph
+from ..core.probe import Probe
+from ..core.qos import QoSRequirement, QoSVector
+from ..core.request import CompositeRequest
+from ..core.resources import ResourceVector
+from ..core.service_graph import ServiceGraph
+from ..discovery.metadata import ServiceMetadata
+from ..services.component import ComponentSpec, QualitySpec
+
+__all__ = [
+    "CodecError",
+    "WIRE_VERSION",
+    "MAX_FRAME",
+    "to_wire",
+    "from_wire",
+    "encode_frame",
+    "decode_frame",
+    "FrameReader",
+    # wire messages
+    "ComposeBegin",
+    "DiscoveryReport",
+    "ProbeTransfer",
+    "FinalProbe",
+    "CreditReturn",
+    "SessionConfirm",
+    "SessionRelease",
+    "ComposeResult",
+    "MaintenancePing",
+    "RegisterComponent",
+    "LookupRequest",
+]
+
+MAGIC = b"SN"
+WIRE_VERSION = 1
+MAX_FRAME = 4 * 1024 * 1024  # one protocol message, not a data plane
+_HEADER = struct.Struct(">2sBI")
+
+
+class CodecError(ValueError):
+    """Raised for malformed, truncated, oversized or unknown-version frames."""
+
+
+# ----------------------------------------------------------------------
+# typed-object registry
+# ----------------------------------------------------------------------
+_ENCODERS: Dict[Type, Tuple[str, Callable[[Any], dict]]] = {}
+_DECODERS: Dict[str, Callable[[dict], Any]] = {}
+
+
+def _register(tag: str, cls: Type, enc: Callable[[Any], dict], dec: Callable[[dict], Any]) -> None:
+    if tag in _DECODERS:
+        raise ValueError(f"duplicate codec tag {tag!r}")
+    _ENCODERS[cls] = (tag, enc)
+    _DECODERS[tag] = dec
+
+
+def to_wire(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-safe structures."""
+    if obj is None or isinstance(obj, (str, bool, int, float)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [to_wire(v) for v in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise CodecError(f"non-string mapping key on the wire: {k!r}")
+            if k == "__w":
+                raise CodecError('"__w" is a reserved wire key')
+            out[k] = to_wire(v)
+        return out
+    entry = _ENCODERS.get(type(obj))
+    if entry is None:
+        raise CodecError(f"type {type(obj).__name__} is not wire-encodable")
+    tag, enc = entry
+    return {"__w": tag, "p": to_wire(enc(obj))}
+
+
+def from_wire(obj: Any) -> Any:
+    """Inverse of :func:`to_wire`; reconstructs registered dataclasses."""
+    if isinstance(obj, list):
+        return [from_wire(v) for v in obj]
+    if isinstance(obj, dict):
+        if "__w" in obj:
+            tag = obj["__w"]
+            dec = _DECODERS.get(tag)
+            if dec is None:
+                raise CodecError(f"unknown wire type tag {tag!r}")
+            try:
+                return dec(from_wire(obj.get("p", {})))
+            except CodecError:
+                raise
+            except Exception as exc:  # malformed payload for a known tag
+                raise CodecError(f"bad payload for wire type {tag!r}: {exc}") from exc
+        return {k: from_wire(v) for k, v in obj.items()}
+    return obj
+
+
+# ----------------------------------------------------------------------
+# frame layer
+# ----------------------------------------------------------------------
+def encode_frame(obj: Any) -> bytes:
+    """Serialize one message (envelope dict or typed object) to a frame."""
+    payload = json.dumps(to_wire(obj), separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise CodecError(f"frame payload of {len(payload)} bytes exceeds {MAX_FRAME}")
+    return _HEADER.pack(MAGIC, WIRE_VERSION, len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Any:
+    """Decode exactly one complete frame (rejects trailing garbage)."""
+    obj, used = _decode_prefix(data)
+    if used != len(data):
+        raise CodecError(f"{len(data) - used} trailing bytes after frame")
+    return obj
+
+
+def _decode_prefix(data: bytes) -> Tuple[Any, int]:
+    if len(data) < _HEADER.size:
+        raise CodecError(f"truncated frame header: {len(data)} bytes")
+    magic, version, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CodecError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise CodecError(f"unsupported wire version {version} (speak {WIRE_VERSION})")
+    if length > MAX_FRAME:
+        raise CodecError(f"declared payload of {length} bytes exceeds {MAX_FRAME}")
+    end = _HEADER.size + length
+    if len(data) < end:
+        raise CodecError(f"truncated frame payload: {len(data) - _HEADER.size}/{length} bytes")
+    try:
+        doc = json.loads(data[_HEADER.size:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"undecodable frame payload: {exc}") from exc
+    return from_wire(doc), end
+
+
+class FrameReader:
+    """Incremental frame parser for a byte stream.
+
+    ``feed()`` buffers arbitrary chunks and returns every message whose
+    frame completed; a header error (bad magic/version/length) poisons
+    the stream permanently, since resynchronisation is impossible.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[Any]:
+        self._buf.extend(data)
+        out: List[Any] = []
+        while len(self._buf) >= _HEADER.size:
+            magic, version, length = _HEADER.unpack_from(self._buf)
+            if magic != MAGIC:
+                raise CodecError(f"bad frame magic {bytes(magic)!r}")
+            if version != WIRE_VERSION:
+                raise CodecError(f"unsupported wire version {version}")
+            if length > MAX_FRAME:
+                raise CodecError(f"declared payload of {length} bytes exceeds {MAX_FRAME}")
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                break
+            out.append(decode_frame(bytes(self._buf[:end])))
+            del self._buf[:end]
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+
+# ----------------------------------------------------------------------
+# core protocol objects
+# ----------------------------------------------------------------------
+_register(
+    "qos",
+    QoSVector,
+    lambda x: {"values": dict(x.values)},
+    lambda p: QoSVector(p["values"]),
+)
+_register(
+    "qosreq",
+    QoSRequirement,
+    lambda x: {"bounds": dict(x.bounds)},
+    lambda p: QoSRequirement(p["bounds"]),
+)
+_register(
+    "res",
+    ResourceVector,
+    lambda x: {"values": dict(x.values)},
+    lambda p: ResourceVector(p["values"]),
+)
+_register(
+    "quality",
+    QualitySpec,
+    lambda x: {"formats": sorted(x.formats)},
+    lambda p: QualitySpec(frozenset(p["formats"])),
+)
+_register(
+    "frac",
+    Fraction,
+    lambda x: {"n": x.numerator, "d": x.denominator},
+    lambda p: Fraction(p["n"], p["d"]),
+)
+_register(
+    "svcmeta",
+    ServiceMetadata,
+    lambda x: {
+        "component_id": x.component_id,
+        "function": x.function,
+        "peer": x.peer,
+        "qp": x.qp,
+        "resources": x.resources,
+        "input_quality": x.input_quality,
+        "output_quality": x.output_quality,
+        "bandwidth_factor": x.bandwidth_factor,
+        "registered_at": x.registered_at,
+    },
+    lambda p: ServiceMetadata(**p),
+)
+_register(
+    "cspec",
+    ComponentSpec,
+    lambda x: {
+        "component_id": x.component_id,
+        "function": x.function,
+        "peer": x.peer,
+        "qp": x.qp,
+        "resources": x.resources,
+        "input_quality": x.input_quality,
+        "output_quality": x.output_quality,
+        "n_inputs": x.n_inputs,
+        "bandwidth_factor": x.bandwidth_factor,
+    },
+    lambda p: ComponentSpec(**p),
+)
+_register(
+    "fgraph",
+    FunctionGraph,
+    lambda x: {
+        "functions": list(x.functions),
+        "edges": sorted([a, b] for a, b in x.edges),
+        "commutations": sorted(sorted(pair) for pair in x.commutations),
+    },
+    lambda p: FunctionGraph.from_edges(
+        p["functions"],
+        [(a, b) for a, b in p["edges"]],
+        [(a, b) for a, b in p["commutations"]],
+    ),
+)
+_register(
+    "request",
+    CompositeRequest,
+    lambda x: {
+        "request_id": x.request_id,
+        "function_graph": x.function_graph,
+        "qos": x.qos,
+        "source_peer": x.source_peer,
+        "dest_peer": x.dest_peer,
+        "bandwidth": x.bandwidth,
+        "failure_req": x.failure_req,
+        "duration": x.duration,
+        "priority": x.priority,
+    },
+    lambda p: CompositeRequest(**p),
+)
+_register(
+    "sgraph",
+    ServiceGraph,
+    lambda x: {
+        "pattern": x.pattern,
+        "assignment": dict(x.assignment),
+        "source_peer": x.source_peer,
+        "dest_peer": x.dest_peer,
+        "base_bandwidth": x.base_bandwidth,
+    },
+    lambda p: ServiceGraph(**p),
+)
+_register(
+    "probe",
+    Probe,
+    lambda x: {
+        "probe_id": x.probe_id,
+        "request": x.request,
+        "graph": x.graph,
+        "applied_swaps": sorted(sorted(pair) for pair in x.applied_swaps),
+        "assignment": dict(x.assignment),
+        "branch": list(x.branch),
+        "current_peer": x.current_peer,
+        "qos": x.qos,
+        "budget": x.budget,
+        "out_bandwidth": x.out_bandwidth,
+        "elapsed": x.elapsed,
+        "hops": x.hops,
+    },
+    lambda p: Probe(
+        probe_id=p["probe_id"],
+        request=p["request"],
+        graph=p["graph"],
+        applied_swaps=frozenset(frozenset(pair) for pair in p["applied_swaps"]),
+        assignment=p["assignment"],
+        branch=tuple(p["branch"]),
+        current_peer=p["current_peer"],
+        qos=p["qos"],
+        budget=p["budget"],
+        out_bandwidth=p["out_bandwidth"],
+        elapsed=p["elapsed"],
+        hops=p["hops"],
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# wire messages (session setup / ack / maintenance)
+# ----------------------------------------------------------------------
+def _tokens_tuple(tokens) -> Tuple[Tuple, ...]:
+    return tuple(tuple(t) for t in tokens)
+
+
+def _message(cls: Type) -> Type:
+    """Register a message dataclass with shallow field-wise encoding."""
+    names = [f.name for f in dataclasses.fields(cls)]
+    _register(
+        "msg." + cls.__name__,
+        cls,
+        lambda m, names=names: {n: getattr(m, n) for n in names},
+        lambda p, cls=cls: cls(**p),
+    )
+    return cls
+
+
+@_message
+@dataclass(frozen=True)
+class ComposeBegin:
+    """Source → destination: open a probe collection window for a request."""
+
+    request_id: int
+    request: CompositeRequest
+    budget: int
+    confirm: bool
+
+
+@_message
+@dataclass(frozen=True)
+class DiscoveryReport:
+    """Source → destination: the root expansion's discovery RTT (phase split)."""
+
+    request_id: int
+    rtt: float
+
+
+@_message
+@dataclass(frozen=True)
+class ProbeTransfer:
+    """Peer → peer: one child probe dispatch (Step 2.4 → Step 2.1).
+
+    Carries the parent probe plus the chosen ``(function, component)``
+    and the effective pattern so the *receiving* peer performs admission
+    (QoS check + soft allocation) exactly as ``BCP._admit`` does.
+    ``credit`` is this probe's share of the request's termination credit
+    (splits on fan-out, returns to the destination on arrival/prune/loss).
+    """
+
+    request_id: int
+    parent: Probe
+    function: str
+    component: ServiceMetadata
+    graph: FunctionGraph
+    applied: Tuple[Tuple[str, str], ...]
+    budget: int
+    lookup_rtt: float
+    credit: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "applied", tuple(tuple(p) for p in self.applied))
+
+
+@_message
+@dataclass(frozen=True)
+class FinalProbe:
+    """Last-hop peer → destination: a branch-complete probe arrives."""
+
+    request_id: int
+    probe: Probe
+    credit: Fraction
+
+
+@_message
+@dataclass(frozen=True)
+class CreditReturn:
+    """Any peer → destination: credit whose probe will not arrive."""
+
+    request_id: int
+    credit: Fraction
+    reason: str
+
+
+@_message
+@dataclass(frozen=True)
+class SessionConfirm:
+    """Destination → path peers: setup ack confirming soft reservations."""
+
+    request_id: int
+    tokens: Tuple[Tuple, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tokens", _tokens_tuple(self.tokens))
+
+
+@_message
+@dataclass(frozen=True)
+class SessionRelease:
+    """Destination → all peers: drop this request's soft state (minus keep)."""
+
+    request_id: int
+    keep: Tuple[Tuple, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keep", _tokens_tuple(self.keep))
+
+
+@_message
+@dataclass(frozen=True)
+class ComposeResult:
+    """Destination → source: the composition outcome."""
+
+    request_id: int
+    success: bool
+    graph: Optional[ServiceGraph]
+    qos: Optional[QoSVector]
+    cost: float
+    failure_reason: Optional[str]
+    probes_sent: int
+    candidates_examined: int
+    setup_time: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    session_tokens: Tuple[Tuple, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "session_tokens", _tokens_tuple(self.session_tokens))
+
+
+@_message
+@dataclass(frozen=True)
+class MaintenancePing:
+    """Source → session peers: periodic liveness probe for an active session."""
+
+    request_id: int
+    seq: int
+
+
+@_message
+@dataclass(frozen=True)
+class RegisterComponent:
+    """Peer → registry host: register a component's static meta-data."""
+
+    spec: ComponentSpec
+
+
+@_message
+@dataclass(frozen=True)
+class LookupRequest:
+    """Peer → registry host: discovery query for a function's duplicates."""
+
+    function: str
+    origin_peer: int

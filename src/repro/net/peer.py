@@ -1,0 +1,702 @@
+"""The live peer daemon: SpiderNet's per-hop protocol over a transport.
+
+Each daemon owns one overlay peer id and processes protocol messages as
+asyncio tasks, *reusing the wrapped* :class:`~repro.core.bcp.BCP`
+*per-hop methods exactly as* :mod:`repro.core.async_bcp` *does* — Steps
+2.1–2.4 of the paper exist once, in ``bcp.py``:
+
+* ``BCP._admit``          — Step 2.1 admission (QoS check + soft alloc)
+  at the probe's *receiving* peer,
+* ``derive_next_functions`` + ``BCP._filter_components`` +
+  ``BCP._select_components`` — Steps 2.2/2.3 at the expanding peer,
+* ``BCP._final_hop`` / ``merge_probes`` / ``select_composition`` — the
+  destination's Step 3,
+* ``BCP._tokens_of`` + pool confirm — the Step 4 ack pass.
+
+**Termination detection.**  The synchronous engine knows the wave is
+over when its heap drains; a distributed destination cannot see remote
+queues.  Instead every composition carries one unit of *credit*: the
+root probe holds ``Fraction(1)``, each fan-out splits the parent's
+credit exactly among its children, and credit returns to the destination
+on arrival (``FinalProbe``), prune/duplicate/late drop or send failure
+(``CreditReturn``).  The collection window closes exactly when the
+credit sums back to 1 — or when a wall-clock fallback fires, covering
+credit lost with a crashed peer.
+
+**Soft state.**  Reservations made during admission arm per-token expiry
+timers (the paper's soft allocation): a reservation not confirmed by the
+setup ack within the timeout evaporates on its own, which is also what
+cleans up after probes that were still in flight when the destination
+closed the window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Awaitable, Dict, List, Optional, Set, Tuple
+
+from ..core.bcp import BCP, CompositionResult, derive_next_functions
+from ..core.probe import Probe
+from ..core.quota import split_budget
+from ..core.request import CompositeRequest
+from ..core.resources import InsufficientResources
+from ..core.selection import admit_graph, merge_probes, select_composition
+from ..core.service_graph import ServiceGraph
+from . import codec
+from .accounting import LedgerTap
+from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError
+
+__all__ = ["PeerDaemon", "LiveSession"]
+
+
+@dataclass
+class LiveSession:
+    """Source-side record of an established composition."""
+
+    request_id: int
+    graph: ServiceGraph
+    tokens: Tuple[Tuple, ...]
+    established_at: float
+    failed: bool = False
+    pings: int = 0
+
+
+@dataclass
+class _Collection:
+    """Destination-side state of one probe collection window."""
+
+    request: CompositeRequest
+    confirm: bool
+    budget: int
+    result: CompositionResult
+    started: float
+    arrivals: Dict[Tuple, Probe] = field(default_factory=dict)
+    credit: Fraction = Fraction(0)
+    discovery: float = 0.0
+    deadline_handle: Optional[asyncio.TimerHandle] = None
+    done: bool = False
+
+
+class PeerDaemon:
+    """One live peer: registry slice, probe processing, session handling."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        bcp: BCP,
+        endpoint: RpcEndpoint,
+        peers: List[int],
+        counters: Dict[int, int],
+        tap: Optional[LedgerTap] = None,
+        trace=None,
+        clock=None,
+        soft_timeout: float = 30.0,
+        collect_wall_timeout: float = 10.0,
+        probe_retry: Optional[RetryPolicy] = None,
+        control_retry: Optional[RetryPolicy] = None,
+        maint_interval: Optional[float] = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.bcp = bcp
+        self.endpoint = endpoint
+        self.peers = list(peers)
+        self.counters = counters  # shared rid -> probes_sent (harness bookkeeping)
+        self.tap = tap
+        self.trace = trace
+        self._clock = clock if clock is not None else time.monotonic
+        self.soft_timeout = soft_timeout
+        self.collect_wall_timeout = collect_wall_timeout
+        self.probe_retry = probe_retry or RetryPolicy(timeout=1.0, retries=2, backoff=0.05)
+        self.control_retry = control_retry or RetryPolicy(timeout=1.0, retries=2, backoff=0.05)
+        self.maint_interval = maint_interval
+        self.stopped = False
+        self.errors: List[str] = []
+        self._tokens: Dict[int, Set[Tuple]] = {}  # rid -> soft tokens owned here
+        self._timers: Dict[Tuple[int, Tuple], asyncio.TimerHandle] = {}
+        self._seen = DedupCache()  # (rid, Probe.dedup_key()) application dedup
+        self._collections: Dict[int, _Collection] = {}
+        self._pending_results: Dict[int, asyncio.Future] = {}
+        self.sessions: Dict[int, LiveSession] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        endpoint.on(codec.ComposeBegin, self._on_begin)
+        endpoint.on(codec.DiscoveryReport, self._on_discovery)
+        endpoint.on(codec.ProbeTransfer, self._on_probe)
+        endpoint.on(codec.FinalProbe, self._on_final)
+        endpoint.on(codec.CreditReturn, self._on_credit)
+        endpoint.on(codec.SessionRelease, self._on_release)
+        endpoint.on(codec.SessionConfirm, self._on_confirm)
+        endpoint.on(codec.ComposeResult, self._on_result)
+        endpoint.on(codec.MaintenancePing, self._on_ping)
+        endpoint.on(codec.RegisterComponent, self._on_register)
+        endpoint.on(codec.LookupRequest, self._on_lookup)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return float(self._clock())
+
+    def _trace(self, category: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(category, time=self._now(), peer=self.peer_id, **fields)
+
+    def _spawn(self, coro: Awaitable) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._task_done)
+        return task
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+            self._trace("daemon_error", error=f"{type(exc).__name__}: {exc}")
+
+    def stop(self) -> None:
+        """Halt message processing and cancel timers/tasks (crash or teardown)."""
+        self.stopped = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        for col in self._collections.values():
+            if col.deadline_handle is not None:
+                col.deadline_handle.cancel()
+        for task in list(self._tasks):
+            task.cancel()
+
+    async def drain(self) -> None:
+        """Await all in-flight tasks (clean teardown path)."""
+        tasks = [t for t in self._tasks if not t.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # soft-state timers
+    # ------------------------------------------------------------------
+    def _arm_expiry(self, rid: int, token: Tuple) -> None:
+        if not self.soft_timeout or self.soft_timeout <= 0:
+            return
+        loop = asyncio.get_running_loop()
+        self._timers[(rid, token)] = loop.call_later(
+            self.soft_timeout, self._expire_token, rid, token
+        )
+
+    def _expire_token(self, rid: int, token: Tuple) -> None:
+        self._timers.pop((rid, token), None)
+        mine = self._tokens.get(rid)
+        if not mine or token not in mine:
+            return
+        mine.discard(token)
+        try:
+            self.bcp.pool.cancel(token)
+        except InsufficientResources:
+            pass  # became firm concurrently; release() owns it now
+        self._trace("reservation_expired", request=rid, token=list(token))
+
+    def _cancel_timer(self, rid: int, token: Tuple) -> None:
+        handle = self._timers.pop((rid, token), None)
+        if handle is not None:
+            handle.cancel()
+
+    # ------------------------------------------------------------------
+    # source side: start a composition
+    # ------------------------------------------------------------------
+    async def start_compose(
+        self,
+        request: CompositeRequest,
+        budget: Optional[int] = None,
+        confirm: bool = True,
+        timeout: Optional[float] = None,
+    ) -> CompositionResult:
+        """Run one live composition from this (source) peer."""
+        if request.source_peer != self.peer_id:
+            raise ValueError(f"request sources at {request.source_peer}, daemon is {self.peer_id}")
+        cfg = self.bcp.config
+        beta = cfg.budget if budget is None else budget
+        if beta < 1:
+            raise ValueError(f"probing budget must be >= 1, got {beta}")
+        rid = request.request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending_results[rid] = future
+        self._trace("compose_started", request=rid, dest=request.dest_peer, budget=beta)
+        try:
+            await self.endpoint.call(
+                request.dest_peer, codec.ComposeBegin(rid, request, beta, confirm)
+            )
+            root = Probe.initial(request, beta)
+            await self._expand_probe(root, Fraction(1), rid)
+            wall = timeout if timeout is not None else self.collect_wall_timeout + 30.0
+            msg = await asyncio.wait_for(future, wall)
+        finally:
+            self._pending_results.pop(rid, None)
+        return self._result_from_message(request, msg)
+
+    @staticmethod
+    def _result_from_message(request: CompositeRequest, msg: codec.ComposeResult) -> CompositionResult:
+        result = CompositionResult(request=request, success=msg.success)
+        result.best = msg.graph
+        result.best_qos = msg.qos
+        result.best_cost = msg.cost
+        result.failure_reason = msg.failure_reason
+        result.probes_sent = msg.probes_sent
+        result.candidates_examined = msg.candidates_examined
+        result.setup_time = msg.setup_time
+        result.phases = dict(msg.phases)
+        result.session_tokens = [tuple(t) for t in msg.session_tokens]
+        return result
+
+    # ------------------------------------------------------------------
+    # steps 2.2-2.4: expansion at the probe's current peer
+    # ------------------------------------------------------------------
+    async def _expand_probe(self, probe: Probe, credit: Fraction, rid: int) -> None:
+        cfg = self.bcp.config
+        request = probe.request
+        candidates = derive_next_functions(
+            probe.graph, probe.current_function, probe.applied_swaps, cfg.explore_commutations
+        )
+        if not candidates:
+            await self._return_credit(rid, request.dest_peer, credit, "no-next-hop")
+            return
+        lookups = []
+        max_rtt = 0.0
+        for fn, _, _, _ in candidates:
+            res = self.bcp.registry.lookup(fn, probe.current_peer)
+            lookups.append(res.components)
+            max_rtt = max(max_rtt, res.rtt)
+        if probe.branch == ():
+            # the root expansion's slowest lookup is the discovery phase
+            await self.endpoint.call(request.dest_peer, codec.DiscoveryReport(rid, max_rtt))
+        entries = [
+            (fn, cfg.quota_policy(fn, len(comps)), is_dep)
+            for (fn, _, _, is_dep), comps in zip(candidates, lookups)
+        ]
+        shares = split_budget(probe.budget, entries)
+        sends = []
+        for idx, ((fn, graph, applied, _), comps) in enumerate(zip(candidates, lookups)):
+            beta_k = shares.get(idx, 0)
+            if beta_k < 1 or not comps:
+                continue
+            alpha_k = entries[idx][1]
+            viable = self.bcp._filter_components(probe, comps)
+            if not viable:
+                continue
+            i_k = min(beta_k, alpha_k, len(viable))
+            chosen = self.bcp._select_components(probe, viable, i_k)
+            child_budget = max(1, beta_k // max(len(chosen), 1))
+            for comp in chosen:
+                sends.append((fn, graph, applied, comp, child_budget))
+        if not sends:
+            await self._return_credit(rid, request.dest_peer, credit, "exhausted")
+            return
+        share = credit / len(sends)  # exact: Fractions never leak credit
+        await asyncio.gather(
+            *(
+                self._send_probe(rid, probe, fn, graph, applied, comp, b, max_rtt, share)
+                for fn, graph, applied, comp, b in sends
+            )
+        )
+
+    async def _send_probe(
+        self,
+        rid: int,
+        parent: Probe,
+        fn: str,
+        graph,
+        applied,
+        comp,
+        budget: int,
+        lookup_rtt: float,
+        credit: Fraction,
+    ) -> None:
+        self.counters[rid] = self.counters.get(rid, 0) + 1
+        if self.tap is not None:
+            self.tap.probe_sent()
+        msg = codec.ProbeTransfer(
+            request_id=rid,
+            parent=parent,
+            function=fn,
+            component=comp,
+            graph=graph,
+            applied=tuple(sorted(tuple(sorted(p)) for p in applied)),
+            budget=budget,
+            lookup_rtt=lookup_rtt,
+            credit=credit,
+        )
+        try:
+            await self.endpoint.call(comp.peer, msg, retry=self.probe_retry)
+        except RpcError:
+            # the retry/backoff path ran dry: report the credit as lost so
+            # the destination's window can still close without the fallback
+            self._trace("probe_lost", request=rid, to_peer=comp.peer, function=fn)
+            await self._return_credit(rid, parent.request.dest_peer, credit, "lost")
+
+    async def _return_credit(self, rid: int, dest_peer: int, credit: Fraction, reason: str) -> None:
+        if credit == 0:
+            return
+        try:
+            await self.endpoint.call(
+                dest_peer, codec.CreditReturn(rid, credit, reason), retry=self.probe_retry
+            )
+        except RpcError:
+            pass  # destination unreachable: its wall-clock fallback closes the window
+
+    # ------------------------------------------------------------------
+    # step 2.1: admission at the receiving peer
+    # ------------------------------------------------------------------
+    async def _on_probe(self, src: int, msg: codec.ProbeTransfer) -> dict:
+        if self.stopped:
+            return {"error": "stopped"}
+        # ack immediately; admission + further expansion run as a task so
+        # deep probe chains never stack RPC timeouts
+        self._spawn(self._process_probe(msg))
+        return {"ok": True}
+
+    async def _process_probe(self, msg: codec.ProbeTransfer) -> None:
+        rid = msg.request_id
+        parent = msg.parent
+        request = parent.request
+        cfg = self.bcp.config
+        applied = frozenset(frozenset(p) for p in msg.applied)
+        toks = self._tokens.setdefault(rid, set())
+        before = set(toks)
+        child = self.bcp._admit(
+            parent, msg.function, msg.component, msg.graph, applied,
+            msg.budget, msg.lookup_rtt, toks,
+        )
+        for token in toks - before:
+            self._arm_expiry(rid, token)
+        if child is None:
+            await self._return_credit(rid, request.dest_peer, msg.credit, "pruned")
+            return
+        if self._seen.seen((rid, child.dedup_key())):
+            await self._return_credit(rid, request.dest_peer, msg.credit, "duplicate")
+            return
+        if child.elapsed > cfg.collect_timeout:
+            await self._return_credit(rid, request.dest_peer, msg.credit, "late")
+            return
+        if child.at_sink:
+            try:
+                await self.endpoint.call(
+                    request.dest_peer, codec.FinalProbe(rid, child, msg.credit),
+                    retry=self.probe_retry,
+                )
+            except RpcError:
+                pass  # destination gone: the whole request is dead
+            return
+        await self._expand_probe(child, msg.credit, rid)
+
+    # ------------------------------------------------------------------
+    # destination side: collection window
+    # ------------------------------------------------------------------
+    async def _on_begin(self, src: int, msg: codec.ComposeBegin) -> dict:
+        rid = msg.request_id
+        if rid in self._collections:
+            return {"ok": True}
+        col = _Collection(
+            request=msg.request,
+            confirm=msg.confirm,
+            budget=msg.budget,
+            result=CompositionResult(request=msg.request, success=False),
+            started=self._now(),
+        )
+        col.deadline_handle = asyncio.get_running_loop().call_later(
+            self.collect_wall_timeout,
+            lambda: self._spawn(self._finalize(rid, "wall-timeout")),
+        )
+        self._collections[rid] = col
+        return {"ok": True}
+
+    async def _on_discovery(self, src: int, msg: codec.DiscoveryReport) -> dict:
+        col = self._collections.get(msg.request_id)
+        if col is not None:
+            col.discovery = msg.rtt
+        return {"ok": True}
+
+    async def _on_final(self, src: int, msg: codec.FinalProbe) -> dict:
+        rid = msg.request_id
+        col = self._collections.get(rid)
+        if col is None or col.done:
+            return {"ok": True}  # straggler after the window closed
+        toks = self._tokens.setdefault(rid, set())
+        before = set(toks)
+        arrival = self.bcp._final_hop(msg.probe, toks, col.result)
+        for token in toks - before:
+            self._arm_expiry(rid, token)
+        if arrival is not None and arrival.elapsed <= self.bcp.config.collect_timeout:
+            key = arrival.dedup_key()
+            prev = col.arrivals.get(key)
+            if prev is None or arrival.elapsed < prev.elapsed:
+                col.arrivals[key] = arrival
+            self._trace("arrival", request=rid, branch=list(arrival.branch))
+        self._credit(rid, col, msg.credit)
+        return {"ok": True}
+
+    async def _on_credit(self, src: int, msg: codec.CreditReturn) -> dict:
+        col = self._collections.get(msg.request_id)
+        if col is None or col.done:
+            return {"ok": True}
+        self._credit(msg.request_id, col, msg.credit)
+        return {"ok": True}
+
+    def _credit(self, rid: int, col: _Collection, credit: Fraction) -> None:
+        col.credit += credit
+        if col.credit >= 1 and not col.done:
+            self._spawn(self._finalize(rid, "credit-complete"))
+
+    # ------------------------------------------------------------------
+    # steps 3 + 4 at the destination
+    # ------------------------------------------------------------------
+    async def _finalize(self, rid: int, why: str) -> None:
+        col = self._collections.get(rid)
+        if col is None or col.done:
+            return
+        col.done = True
+        if col.deadline_handle is not None:
+            col.deadline_handle.cancel()
+        cfg = self.bcp.config
+        request = col.request
+        result = col.result
+        result.probes_sent += self.counters.pop(rid, 0)
+        result.candidates_examined = len(col.arrivals)
+        result.phases["discovery"] = col.discovery
+        arrivals = list(col.arrivals.values())
+        keep: Set[Tuple] = set()
+        if not arrivals:
+            result.failure_reason = "no probe reached the destination"
+            if self.tap is not None:
+                self.tap.failure()
+        else:
+            candidates = merge_probes(
+                request, arrivals, self.bcp.overlay,
+                max_patterns=cfg.max_patterns, max_candidates=cfg.max_candidates,
+            )
+            selection = select_composition(
+                candidates, request.qos, self.bcp.pool, cfg.cost_weights,
+                objective=cfg.objective,
+            )
+            result.qualified = selection.qualified
+            if selection.best is None:
+                result.failure_reason = (
+                    f"no qualified service graph among {len(candidates)} candidates"
+                )
+                if self.tap is not None:
+                    self.tap.failure()
+            else:
+                result.best = selection.best.graph
+                result.best_qos = selection.best.qos
+                result.best_cost = selection.best.cost
+        if result.best is not None:
+            # phase accounting + per-branch ack charges, as BCP._setup_phase
+            ack_time = 0.0
+            for peers in result.best.branch_paths():
+                t = sum(
+                    self.bcp.overlay.latency(u, v) for u, v in zip(peers, peers[1:]) if u != v
+                )
+                t += cfg.component_init_delay * (len(peers) - 2)
+                ack_time = max(ack_time, t)
+                if self.tap is not None:
+                    self.tap.ack_hops(len(peers) - 1)
+            arrivals_done = max((c.arrival_elapsed for c in result.qualified), default=0.0)
+            probing_time = min(arrivals_done, cfg.collect_timeout)
+            result.phases["composition"] = max(probing_time - col.discovery, 0.0)
+            result.phases["setup_ack"] = ack_time
+            result.setup_time = probing_time + ack_time
+            keep = self.bcp._tokens_of(result.best, rid)
+        # release every losing reservation cluster-wide
+        await self._broadcast_release(rid, keep)
+        success = result.best is not None
+        if success and col.confirm:
+            if cfg.soft_allocation:
+                # same-peer hops never reserved a link token, so only the
+                # tokens that must exist can fail the setup ack
+                required = self.bcp._required_tokens(result.best, rid)
+                confirmed = await self._confirm_session(rid, keep, result.best)
+                if confirmed != required:
+                    result.best = None
+                    result.best_qos = None
+                    result.best_cost = math.inf
+                    result.failure_reason = "setup ack found expired reservation or dead peer"
+                    if self.tap is not None:
+                        self.tap.failure()
+                    await self._broadcast_release(rid, set())
+                    success = False
+                else:
+                    result.session_tokens = sorted(confirmed)
+            else:
+                # no-soft-allocation ablation: firm admission happens only now
+                token = (rid, "session")
+                if admit_graph(result.best, self.bcp.pool, token):
+                    result.session_tokens = [token]
+                else:
+                    result.best = None
+                    result.best_qos = None
+                    result.best_cost = math.inf
+                    result.failure_reason = "admission failed at setup (no soft allocation)"
+                    if self.tap is not None:
+                        self.tap.failure()
+                    success = False
+        elif success and not col.confirm:
+            # measurement-only run: drop the winner's reservations too
+            await self._broadcast_release(rid, set())
+        result.success = success
+        self._collections.pop(rid, None)
+        self._trace(
+            "compose_finished", request=rid, success=success, why=why,
+            arrivals=len(arrivals), probes=result.probes_sent,
+        )
+        out = codec.ComposeResult(
+            request_id=rid,
+            success=success,
+            graph=result.best,
+            qos=result.best_qos,
+            cost=result.best_cost,
+            failure_reason=result.failure_reason,
+            probes_sent=result.probes_sent,
+            candidates_examined=result.candidates_examined,
+            setup_time=result.setup_time,
+            phases=dict(result.phases),
+            session_tokens=tuple(result.session_tokens),
+        )
+        try:
+            await self.endpoint.call(request.source_peer, out, retry=self.control_retry)
+        except RpcError:
+            self._trace("result_undeliverable", request=rid)
+
+    async def _confirm_session(self, rid: int, keep: Set[Tuple], graph: ServiceGraph):
+        """Destination-driven setup ack: every path peer confirms its tokens.
+
+        Mirrors ``AsyncBCP._confirm_setup``: if any keep token cannot be
+        confirmed — expired reservation, dead peer — setup fails."""
+        peers = set(graph.peers()) | {self.peer_id}
+        keep_list = sorted(keep)
+        confirmed: Set[Tuple] = set()
+        for peer in sorted(peers):
+            if peer == self.peer_id:
+                confirmed |= self._apply_confirm(rid, keep)
+                continue
+            try:
+                reply = await self.endpoint.call(
+                    peer, codec.SessionConfirm(rid, tuple(keep_list)), retry=self.control_retry
+                )
+            except RpcError:
+                return None
+            if not isinstance(reply, dict) or reply.get("error"):
+                return None
+            confirmed |= {tuple(t) for t in reply.get("confirmed", [])}
+        return confirmed
+
+    def _apply_confirm(self, rid: int, keep: Set[Tuple]) -> Set[Tuple]:
+        mine = self._tokens.get(rid, set())
+        out: Set[Tuple] = set()
+        for token in sorted(keep):
+            if token in mine and self.bcp.pool.has_token(token):
+                self.bcp.pool.confirm(token)
+                self._cancel_timer(rid, token)
+                out.add(token)
+        mine -= out  # firm now; no longer soft bookkeeping
+        if not mine:
+            self._tokens.pop(rid, None)
+        return out
+
+    async def _broadcast_release(self, rid: int, keep: Set[Tuple]) -> None:
+        msg = codec.SessionRelease(rid, tuple(sorted(keep)))
+        calls = []
+        for peer in self.peers:
+            if peer == self.peer_id:
+                self._apply_release(rid, keep)
+            else:
+                calls.append(self._release_one(peer, msg))
+        if calls:
+            await asyncio.gather(*calls)
+
+    async def _release_one(self, peer: int, msg: codec.SessionRelease) -> None:
+        try:
+            await self.endpoint.call(peer, msg, retry=self.control_retry)
+        except RpcError:
+            pass  # a dead peer's soft state expires on its own timers
+
+    def _apply_release(self, rid: int, keep: Set[Tuple]) -> None:
+        mine = self._tokens.get(rid)
+        if not mine:
+            return
+        for token in sorted(mine - set(keep)):
+            self._cancel_timer(rid, token)
+            try:
+                self.bcp.pool.cancel(token)
+            except InsufficientResources:
+                pass
+            mine.discard(token)
+        if not mine:
+            self._tokens.pop(rid, None)
+
+    async def _on_release(self, src: int, msg: codec.SessionRelease) -> dict:
+        self._apply_release(msg.request_id, {tuple(t) for t in msg.keep})
+        return {"ok": True}
+
+    async def _on_confirm(self, src: int, msg: codec.SessionConfirm) -> dict:
+        confirmed = self._apply_confirm(msg.request_id, {tuple(t) for t in msg.tokens})
+        return {"confirmed": sorted(confirmed)}
+
+    # ------------------------------------------------------------------
+    # source side: result + session maintenance
+    # ------------------------------------------------------------------
+    async def _on_result(self, src: int, msg: codec.ComposeResult) -> dict:
+        future = self._pending_results.get(msg.request_id)
+        if future is not None and not future.done():
+            future.set_result(msg)
+        if msg.success and msg.graph is not None and msg.session_tokens:
+            session = LiveSession(
+                request_id=msg.request_id,
+                graph=msg.graph,
+                tokens=msg.session_tokens,
+                established_at=self._now(),
+            )
+            self.sessions[msg.request_id] = session
+            self._trace("session_established", request=msg.request_id)
+            if self.maint_interval:
+                self._spawn(self._maintain(session))
+        return {"ok": True}
+
+    async def _maintain(self, session: LiveSession) -> None:
+        """Periodic liveness pings along the session's service peers."""
+        peers = [p for p in session.graph.peers() if p != self.peer_id]
+        seq = 0
+        while not self.stopped and not session.failed:
+            await asyncio.sleep(self.maint_interval)
+            if self.stopped or session.failed:
+                return
+            seq += 1
+            for peer in peers:
+                try:
+                    await self.endpoint.call(
+                        peer, codec.MaintenancePing(session.request_id, seq),
+                        retry=self.control_retry,
+                    )
+                    session.pings += 1
+                except RpcError:
+                    session.failed = True
+                    self._trace(
+                        "session_failure", request=session.request_id, failed_peer=peer
+                    )
+                    return
+
+    async def _on_ping(self, src: int, msg: codec.MaintenancePing) -> dict:
+        return {"alive": not self.stopped, "request": msg.request_id, "seq": msg.seq}
+
+    # ------------------------------------------------------------------
+    # registry slice
+    # ------------------------------------------------------------------
+    async def _on_register(self, src: int, msg: codec.RegisterComponent) -> dict:
+        self.bcp.registry.register(msg.spec)
+        return {"ok": True}
+
+    async def _on_lookup(self, src: int, msg: codec.LookupRequest) -> dict:
+        res = self.bcp.registry.lookup(msg.function, msg.origin_peer)
+        return {"components": list(res.components), "rtt": res.rtt}

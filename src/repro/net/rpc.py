@@ -1,0 +1,199 @@
+"""Request/response messaging with retries, backoff and idempotent dedup.
+
+Every protocol exchange in the live runtime is an acked RPC: the sender
+retries on timeout with exponential backoff + seeded jitter, and the
+receiver deduplicates by ``(src, msg_id)`` — a retried request re-sends
+the cached reply instead of re-invoking the handler, so handlers observe
+each logical message exactly once.  (Application-level dedup — probes
+keyed on :meth:`Probe.dedup_key` — sits one layer up in
+:class:`~repro.net.peer.PeerDaemon`, backed by :class:`DedupCache`.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, Hashable, Optional, Type
+
+from ..sim.rng import as_generator
+from .transport import TransportError
+
+__all__ = ["RpcError", "RpcTimeout", "RetryPolicy", "RpcEndpoint", "DedupCache"]
+
+
+class RpcError(RuntimeError):
+    """A call failed for a non-timeout reason (e.g. remote handler error)."""
+
+
+class RpcTimeout(RpcError):
+    """All attempts of a call timed out or found the peer unreachable."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries: ``retries`` re-sends after the first attempt, each
+    preceded by ``backoff * factor**(attempt-1)`` seconds of sleep, scaled
+    by up to ``1 + jitter`` (uniform, from the endpoint's seeded RNG)."""
+
+    timeout: float = 2.0
+    retries: int = 3
+    backoff: float = 0.05
+    factor: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0 or self.retries < 0:
+            raise ValueError("timeout must be > 0 and retries >= 0")
+        if self.backoff < 0 or self.factor < 1.0 or self.jitter < 0:
+            raise ValueError("need backoff >= 0, factor >= 1, jitter >= 0")
+
+
+class DedupCache:
+    """A bounded seen-set with FIFO eviction (insertion order)."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._seen: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def seen(self, key: Hashable) -> bool:
+        """Record ``key``; True iff it was already present."""
+        if key in self._seen:
+            return True
+        self._seen[key] = None
+        if len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+_INFLIGHT = object()  # reply-cache sentinel: handler still running
+
+
+class RpcEndpoint:
+    """One peer's message port: typed handlers + outbound calls.
+
+    Handlers are registered per message *class* (``endpoint.on(ProbeTransfer,
+    fn)``) and return the reply payload (a JSON-able dict, possibly with
+    typed values) or ``None`` for a bare ack.
+    """
+
+    def __init__(
+        self,
+        transport,
+        peer_id: int,
+        retry: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        reply_cache: int = 8192,
+    ) -> None:
+        self.transport = transport
+        self.peer_id = peer_id
+        self.retry = retry or RetryPolicy()
+        self._rng = as_generator(seed)
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._handlers: Dict[Type, Callable[[int, Any], Awaitable[Optional[dict]]]] = {}
+        self._replies: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._reply_cache = reply_cache
+        self.calls_sent = 0
+        self.retries_performed = 0
+        transport.register(peer_id, self._on_envelope)
+
+    def on(self, msg_type: Type, handler: Callable[[int, Any], Awaitable[Optional[dict]]]) -> None:
+        self._handlers[msg_type] = handler
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+    async def call(self, dst: int, message: Any, retry: Optional[RetryPolicy] = None) -> dict:
+        """Send ``message`` to ``dst`` and await its reply payload."""
+        policy = retry or self.retry
+        msg_id = next(self._ids)
+        envelope = {
+            "kind": "req",
+            "id": msg_id,
+            "src": self.peer_id,
+            "dst": dst,
+            "body": message,
+        }
+        self.calls_sent += 1
+        loop = asyncio.get_running_loop()
+        last_error = "timeout"
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                self.retries_performed += 1
+                delay = policy.backoff * policy.factor ** (attempt - 1)
+                delay *= 1.0 + policy.jitter * float(self._rng.random())
+                await asyncio.sleep(delay)
+            future: asyncio.Future = loop.create_future()
+            self._pending[msg_id] = future
+            try:
+                await self.transport.send(self.peer_id, dst, envelope)
+            except TransportError as exc:
+                self._pending.pop(msg_id, None)
+                last_error = str(exc)
+                continue
+            try:
+                return await asyncio.wait_for(future, policy.timeout)
+            except asyncio.TimeoutError:
+                last_error = f"no reply within {policy.timeout}s"
+            finally:
+                self._pending.pop(msg_id, None)
+        raise RpcTimeout(
+            f"{type(message).__name__} {self.peer_id}->{dst} failed after "
+            f"{policy.retries + 1} attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # inbound
+    # ------------------------------------------------------------------
+    async def _on_envelope(self, envelope: dict) -> None:
+        kind = envelope.get("kind")
+        if kind == "res":
+            future = self._pending.get(envelope["id"])
+            if future is not None and not future.done():
+                future.set_result(envelope.get("body"))
+            return
+        if kind != "req":
+            return  # unknown envelope kinds are dropped, not fatal
+        src, msg_id = envelope["src"], envelope["id"]
+        key = (src, msg_id)
+        cached = self._replies.get(key)
+        if cached is _INFLIGHT:
+            return  # duplicate while the first delivery is still processing
+        if cached is not None:
+            await self._respond(src, msg_id, cached)
+            return
+        self._cache_reply(key, _INFLIGHT)
+        body = envelope.get("body")
+        handler = self._handlers.get(type(body))
+        if handler is None:
+            reply: dict = {"error": f"no handler for {type(body).__name__}"}
+        else:
+            try:
+                reply = await handler(src, body) or {"ok": True}
+            except Exception as exc:  # a handler bug must not kill the daemon
+                reply = {"error": f"{type(exc).__name__}: {exc}"}
+        self._cache_reply(key, reply)
+        await self._respond(src, msg_id, reply)
+
+    def _cache_reply(self, key: tuple, value: Any) -> None:
+        self._replies[key] = value
+        self._replies.move_to_end(key)
+        while len(self._replies) > self._reply_cache:
+            self._replies.popitem(last=False)
+
+    async def _respond(self, dst: int, msg_id: int, body: Any) -> None:
+        envelope = {"kind": "res", "id": msg_id, "src": self.peer_id, "dst": dst, "body": body}
+        try:
+            await self.transport.send(self.peer_id, dst, envelope)
+        except TransportError:
+            pass  # the caller's retry will re-request the cached reply

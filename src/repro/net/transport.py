@@ -1,0 +1,303 @@
+"""Datagram-style message transports for the live runtime.
+
+Both transports move *frames* (see :mod:`.codec`) between numbered
+peers.  Messages are serialized on every send and parsed on every
+delivery — even in-process — so the loopback path exercises the exact
+bytes a TCP deployment puts on the network.
+
+* :class:`LoopbackTransport` — asyncio queues with injectable one-way
+  latency and probabilistic loss; the deterministic substrate for tests
+  and the sim-parity harness.
+* :class:`TcpTransport` — asyncio streams on localhost (or any address
+  book), one server per hosted peer, a per-``(src, dst)`` outbound
+  connection pool, and write backpressure via ``drain()``.
+
+Failure model: sending to a *killed* peer is a silent drop (a packet
+into the void) on loopback and a connection error on TCP; both surface
+to callers as an RPC timeout, which is what drives the retry/backoff
+path and, ultimately, credit-loss reporting to the destination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+from ..sim.rng import as_generator
+from .codec import FrameReader, decode_frame, encode_frame
+
+__all__ = ["TransportError", "LoopbackTransport", "TcpTransport"]
+
+Handler = Callable[[dict], Awaitable[None]]
+# tap(direction, envelope, n_bytes) — see net.accounting.LedgerTap
+Tap = Callable[[str, dict, int], None]
+
+
+class TransportError(RuntimeError):
+    """Raised when a frame cannot be handed to the network at all."""
+
+
+class _BaseTransport:
+    def __init__(self, tap: Optional[Tap] = None) -> None:
+        self._handlers: Dict[int, Handler] = {}
+        self._killed: Set[int] = set()
+        self.tap = tap
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_dropped = 0
+
+    def register(self, peer_id: int, handler: Handler) -> None:
+        if peer_id in self._handlers:
+            raise ValueError(f"peer {peer_id} already registered")
+        self._handlers[peer_id] = handler
+        self._killed.discard(peer_id)
+
+    def kill(self, peer_id: int) -> None:
+        """Simulate a peer crash: it neither receives nor sends frames."""
+        self._killed.add(peer_id)
+
+    def is_killed(self, peer_id: int) -> bool:
+        return peer_id in self._killed
+
+    def _tap_send(self, envelope: dict, n_bytes: int) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += n_bytes
+        if self.tap is not None:
+            self.tap("tx", envelope, n_bytes)
+
+    async def start(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    async def close(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    async def send(self, src: int, dst: int, envelope: dict) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class LoopbackTransport(_BaseTransport):
+    """In-process transport: one inbox queue + dispatcher task per peer.
+
+    ``latency`` is a one-way delay in wall seconds (a float, or a
+    callable ``(src, dst) -> float``); ``loss`` drops each frame
+    independently with the given probability, using a seeded generator
+    so tests are reproducible.
+    """
+
+    def __init__(
+        self,
+        latency: float | Callable[[int, int], float] = 0.0,
+        loss: float = 0.0,
+        seed: int = 0,
+        tap: Optional[Tap] = None,
+    ) -> None:
+        super().__init__(tap=tap)
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
+        self._latency = latency if callable(latency) else (lambda s, d, l=latency: l)
+        self._loss = loss
+        self._rng = as_generator(seed)
+        self._queues: Dict[int, asyncio.Queue] = {}
+        self._dispatchers: List[asyncio.Task] = []
+        self._started = False
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        for peer_id in self._handlers:
+            if peer_id not in self._queues:
+                self._queues[peer_id] = asyncio.Queue()
+                self._dispatchers.append(
+                    loop.create_task(self._dispatch(peer_id), name=f"loopback-rx-{peer_id}")
+                )
+        self._started = True
+
+    async def close(self) -> None:
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers.clear()
+        self._started = False
+
+    async def send(self, src: int, dst: int, envelope: dict) -> None:
+        if not self._started:
+            raise TransportError("transport not started")
+        if src in self._killed:
+            raise TransportError(f"peer {src} is down")
+        queue = self._queues.get(dst)
+        if queue is None:
+            raise TransportError(f"no such peer {dst}")
+        frame = encode_frame(envelope)
+        self._tap_send(envelope, len(frame))
+        if dst in self._killed or (self._loss > 0 and self._rng.random() < self._loss):
+            self.frames_dropped += 1
+            return  # the void acknowledges nothing
+        delay = self._latency(src, dst)
+        if delay > 0:
+            asyncio.get_running_loop().call_later(delay, queue.put_nowait, frame)
+        else:
+            queue.put_nowait(frame)
+
+    async def _dispatch(self, peer_id: int) -> None:
+        queue = self._queues[peer_id]
+        while True:
+            frame = await queue.get()
+            if peer_id in self._killed:
+                continue
+            handler = self._handlers.get(peer_id)
+            if handler is None:
+                continue
+            await handler(decode_frame(frame))
+
+
+class _Conn:
+    """One pooled outbound stream with serialized writes."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+
+
+class TcpTransport(_BaseTransport):
+    """Localhost TCP: one listening server per hosted peer.
+
+    Ports are allocated by the OS unless ``port_base`` is given (then
+    peer ``p`` listens on ``port_base + p``).  Outbound frames reuse a
+    pooled connection per ``(src, dst)`` pair; writes await ``drain()``
+    so a slow receiver backpressures its senders instead of ballooning
+    buffers.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port_base: Optional[int] = None,
+        tap: Optional[Tap] = None,
+    ) -> None:
+        super().__init__(tap=tap)
+        self.host = host
+        self.port_base = port_base
+        self.addresses: Dict[int, Tuple[str, int]] = {}
+        self._servers: Dict[int, asyncio.base_events.Server] = {}
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._accepted: Dict[int, List[asyncio.StreamWriter]] = {}
+        self._pool: Dict[Tuple[int, int], _Conn] = {}
+        self._dial_locks: Dict[Tuple[int, int], asyncio.Lock] = {}
+        self._started = False
+
+    async def start(self) -> None:
+        for peer_id in self._handlers:
+            if peer_id in self._servers:
+                continue
+            port = 0 if self.port_base is None else self.port_base + peer_id
+            server = await asyncio.start_server(
+                lambda r, w, p=peer_id: self._serve(p, r, w), self.host, port
+            )
+            self._servers[peer_id] = server
+            self.addresses[peer_id] = server.sockets[0].getsockname()[:2]
+        self._started = True
+
+    async def close(self) -> None:
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers.clear()
+        for conn in self._pool.values():
+            conn.writer.close()
+        self._pool.clear()
+        for writers in self._accepted.values():
+            for w in writers:
+                w.close()
+        self._accepted.clear()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._conn_tasks.clear()
+        self._started = False
+
+    def kill(self, peer_id: int) -> None:
+        super().kill(peer_id)
+        server = self._servers.pop(peer_id, None)
+        if server is not None:
+            server.close()
+        for w in self._accepted.pop(peer_id, []):
+            w.close()
+        for key in [k for k in self._pool if peer_id in k]:
+            self._pool.pop(key).writer.close()
+
+    async def send(self, src: int, dst: int, envelope: dict) -> None:
+        if not self._started:
+            raise TransportError("transport not started")
+        if src in self._killed:
+            raise TransportError(f"peer {src} is down")
+        if dst in self._killed:
+            raise TransportError(f"peer {dst} is down")
+        frame = encode_frame(envelope)
+        conn = await self._get_conn(src, dst)
+        try:
+            async with conn.lock:
+                conn.writer.write(frame)
+                await conn.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pool.pop((src, dst), None)
+            conn.writer.close()
+            raise TransportError(f"send {src}->{dst} failed: {exc}") from exc
+        self._tap_send(envelope, len(frame))
+
+    async def _get_conn(self, src: int, dst: int) -> _Conn:
+        key = (src, dst)
+        conn = self._pool.get(key)
+        if conn is not None and not conn.writer.is_closing():
+            return conn
+        lock = self._dial_locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            conn = self._pool.get(key)
+            if conn is not None and not conn.writer.is_closing():
+                return conn
+            addr = self.addresses.get(dst)
+            if addr is None:
+                raise TransportError(f"no address for peer {dst}")
+            try:
+                reader, writer = await asyncio.open_connection(*addr)
+            except (ConnectionError, OSError) as exc:
+                raise TransportError(f"dial {src}->{dst} failed: {exc}") from exc
+            conn = _Conn(reader, writer)
+            self._pool[key] = conn
+            return conn
+
+    async def _serve(
+        self, peer_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._accepted.setdefault(peer_id, []).append(writer)
+        frames = FrameReader()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for envelope in frames.feed(chunk):
+                    if peer_id in self._killed:
+                        return
+                    handler = self._handlers.get(peer_id)
+                    if handler is not None:
+                        await handler(envelope)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # transport teardown; exiting cleanly keeps the loop quiet
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            accepted = self._accepted.get(peer_id)
+            if accepted and writer in accepted:
+                accepted.remove(writer)

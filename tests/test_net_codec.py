@@ -1,0 +1,246 @@
+"""Round-trip and rejection tests for the live-runtime wire codec."""
+
+import struct
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bcp import BCPConfig
+from repro.core.probe import Probe
+from repro.core.qos import QoSRequirement, QoSVector
+from repro.core.resources import ResourceVector
+from repro.net import codec
+from repro.net.codec import (
+    MAX_FRAME,
+    WIRE_VERSION,
+    CodecError,
+    FrameReader,
+    decode_frame,
+    encode_frame,
+    from_wire,
+    to_wire,
+)
+from repro.services.component import QualitySpec
+from repro.workload.scenarios import simulation_testbed
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return simulation_testbed(
+        n_ip=80, n_peers=12, n_functions=6, bcp_config=BCPConfig(budget=24), seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def request_obj(scenario):
+    return scenario.requests.next_request()
+
+
+@pytest.fixture(scope="module")
+def service_graph(scenario):
+    # a real composed graph, so assignment metadata comes from the registry
+    for _ in range(10):
+        req = scenario.requests.next_request()
+        result = scenario.net.bcp.compose(req, confirm=False)
+        if result.success:
+            return result.best
+    pytest.fail("no composition succeeded while building the fixture")
+
+
+def roundtrip(obj):
+    return decode_frame(encode_frame(obj))
+
+
+class TestRoundTrips:
+    """from_wire(to_wire(x)) == x for every registered type."""
+
+    def test_primitives_and_containers(self):
+        doc = {"a": [1, 2.5, "x", None, True], "b": {"nested": [[]]}}
+        assert roundtrip(doc) == doc
+
+    def test_qos_vector(self):
+        v = QoSVector({"delay": 0.25, "loss": 0.01})
+        assert roundtrip(v) == v
+
+    def test_qos_requirement(self):
+        r = QoSRequirement({"delay": 1.5, "loss": 0.05})
+        assert roundtrip(r) == r
+
+    def test_resource_vector(self):
+        r = ResourceVector({"cpu": 4.0, "memory": 128.0})
+        assert roundtrip(r) == r
+
+    def test_quality_spec(self):
+        q = QualitySpec(frozenset({"mp3", "wav"}))
+        assert roundtrip(q) == q
+
+    def test_fraction_exact(self):
+        f = Fraction(7, 24)
+        out = roundtrip(f)
+        assert out == f and isinstance(out, Fraction)
+
+    def test_service_metadata(self, scenario):
+        fn = scenario.net.registry.functions()[0]
+        meta = scenario.net.registry.lookup(fn, origin_peer=0).components[0]
+        assert roundtrip(meta) == meta
+
+    def test_component_spec(self, scenario):
+        spec = scenario.population[0]
+        assert roundtrip(spec) == spec
+
+    def test_function_graph(self, request_obj):
+        g = request_obj.function_graph
+        assert roundtrip(g) == g
+
+    def test_composite_request(self, request_obj):
+        assert roundtrip(request_obj) == request_obj
+
+    def test_service_graph(self, service_graph):
+        assert roundtrip(service_graph) == service_graph
+        assert roundtrip(service_graph).signature() == service_graph.signature()
+
+    def test_root_probe(self, request_obj):
+        p = Probe.initial(request_obj, budget=16)
+        assert roundtrip(p) == p
+
+    def test_mid_path_probe(self, scenario, request_obj, service_graph):
+        root = Probe.initial(request_obj, budget=16)
+        fn = service_graph.pattern.functions[0]
+        meta = service_graph.assignment[fn]
+        child = root.spawn(
+            function=fn,
+            component=meta,
+            graph=root.graph,
+            applied_swaps=root.applied_swaps,
+            qos=QoSVector({"delay": 0.1, "loss": 0.001}),
+            budget=4,
+            elapsed=0.123,
+        )
+        assert roundtrip(child) == child
+        assert roundtrip(child).dedup_key() == child.dedup_key()
+
+    def test_every_message_type(self, scenario, request_obj, service_graph):
+        probe = Probe.initial(request_obj, budget=8)
+        fn = service_graph.pattern.functions[0]
+        meta = service_graph.assignment[fn]
+        messages = [
+            codec.ComposeBegin(1, request_obj, 16, True),
+            codec.DiscoveryReport(1, 0.125),
+            codec.ProbeTransfer(
+                1, probe, fn, meta, request_obj.function_graph,
+                (("F001", "F002"),), 4, 0.05, Fraction(1, 3),
+            ),
+            codec.FinalProbe(1, probe, Fraction(2, 5)),
+            codec.CreditReturn(1, Fraction(1, 6), "pruned"),
+            codec.SessionConfirm(1, ((1, "comp", 7), (1, "link", -1, 7))),
+            codec.SessionRelease(1, ((1, "comp", 7),)),
+            codec.ComposeResult(
+                1, True, service_graph, QoSVector({"delay": 0.2}), 1.5,
+                None, 42, 7, 0.9, {"discovery": 0.1}, ((1, "comp", 7),),
+            ),
+            codec.MaintenancePing(1, 3),
+            codec.RegisterComponent(scenario.population[0]),
+            codec.LookupRequest("F001", 4),
+        ]
+        for msg in messages:
+            assert roundtrip(msg) == msg, type(msg).__name__
+
+
+class TestRejection:
+    def test_unknown_version(self):
+        frame = bytearray(encode_frame({"x": 1}))
+        frame[2] = WIRE_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_bad_magic(self):
+        frame = b"XX" + encode_frame({"x": 1})[2:]
+        with pytest.raises(CodecError, match="magic"):
+            decode_frame(frame)
+
+    def test_truncated_header(self):
+        with pytest.raises(CodecError, match="truncated frame header"):
+            decode_frame(b"SN\x01")
+
+    def test_truncated_payload(self):
+        frame = encode_frame({"x": 1})
+        with pytest.raises(CodecError, match="truncated frame payload"):
+            decode_frame(frame[:-2])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(CodecError, match="trailing"):
+            decode_frame(encode_frame({"x": 1}) + b"!")
+
+    def test_oversize_declared_length(self):
+        header = struct.pack(">2sBI", b"SN", WIRE_VERSION, MAX_FRAME + 1)
+        with pytest.raises(CodecError, match="exceeds"):
+            decode_frame(header)
+
+    def test_oversize_payload_refused_at_encode(self):
+        with pytest.raises(CodecError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_unknown_tag(self):
+        frame = encode_frame({"x": 1})
+        poisoned = frame[: struct.calcsize(">2sBI")] + frame[struct.calcsize(">2sBI"):]
+        doc = b'{"__w":"no-such-tag","p":{}}'
+        header = struct.pack(">2sBI", b"SN", WIRE_VERSION, len(doc))
+        with pytest.raises(CodecError, match="unknown wire type"):
+            decode_frame(header + doc)
+        assert decode_frame(poisoned) == {"x": 1}  # sanity: original intact
+
+    def test_bad_payload_for_known_tag(self):
+        doc = b'{"__w":"frac","p":{"bogus":1}}'
+        header = struct.pack(">2sBI", b"SN", WIRE_VERSION, len(doc))
+        with pytest.raises(CodecError, match="bad payload"):
+            decode_frame(header + doc)
+
+    def test_unencodable_type(self):
+        with pytest.raises(CodecError, match="not wire-encodable"):
+            to_wire(object())
+
+    def test_reserved_key(self):
+        with pytest.raises(CodecError, match="reserved"):
+            to_wire({"__w": "sneaky"})
+
+    def test_non_string_key(self):
+        with pytest.raises(CodecError, match="non-string"):
+            to_wire({1: "x"})
+
+    def test_undecodable_json(self):
+        doc = b"\xff\xfe not json"
+        header = struct.pack(">2sBI", b"SN", WIRE_VERSION, len(doc))
+        with pytest.raises(CodecError, match="undecodable"):
+            decode_frame(header + doc)
+
+
+class TestFrameReader:
+    def test_single_byte_feeds(self):
+        frames = encode_frame({"n": 1}) + encode_frame({"n": 2})
+        reader = FrameReader()
+        out = []
+        for i in range(len(frames)):
+            out.extend(reader.feed(frames[i : i + 1]))
+        assert out == [{"n": 1}, {"n": 2}]
+        assert reader.pending_bytes == 0
+
+    def test_messages_split_across_chunks(self):
+        frames = b"".join(encode_frame({"n": i}) for i in range(5))
+        reader = FrameReader()
+        mid = len(frames) // 2 + 3
+        out = reader.feed(frames[:mid]) + reader.feed(frames[mid:])
+        assert [m["n"] for m in out] == list(range(5))
+
+    def test_header_error_poisons_stream(self):
+        reader = FrameReader()
+        with pytest.raises(CodecError):
+            reader.feed(b"XXXXXXXXXX")
+
+    def test_partial_header_waits(self):
+        reader = FrameReader()
+        assert reader.feed(b"SN") == []
+        assert reader.pending_bytes == 2
+
+
+def test_from_wire_tolerates_plain_documents():
+    assert from_wire({"a": [1, {"b": 2}]}) == {"a": [1, {"b": 2}]}

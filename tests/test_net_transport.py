@@ -1,0 +1,283 @@
+"""Transport and RPC layer tests: loopback, TCP, retries, idempotency."""
+
+import asyncio
+
+import pytest
+
+from repro.net.rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcTimeout
+from repro.net.transport import LoopbackTransport, TcpTransport, TransportError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def collector(received):
+    async def handler(envelope):
+        received.append(envelope)
+
+    return handler
+
+
+class TestLoopback:
+    def test_delivers_decoded_envelopes(self):
+        async def scenario():
+            t = LoopbackTransport()
+            received = []
+            t.register(0, collector([]))
+            t.register(1, collector(received))
+            await t.start()
+            await t.send(0, 1, {"kind": "req", "n": 7})
+            await asyncio.sleep(0.01)
+            await t.close()
+            return received
+
+        out = run(scenario())
+        assert out == [{"kind": "req", "n": 7}]
+
+    def test_latency_delays_delivery(self):
+        async def scenario():
+            t = LoopbackTransport(latency=0.05)
+            received = []
+            t.register(0, collector([]))
+            t.register(1, collector(received))
+            await t.start()
+            await t.send(0, 1, {"n": 1})
+            await asyncio.sleep(0.01)
+            early = len(received)
+            await asyncio.sleep(0.08)
+            await t.close()
+            return early, len(received)
+
+        early, late = run(scenario())
+        assert early == 0 and late == 1
+
+    def test_loss_drops_frames(self):
+        async def scenario():
+            t = LoopbackTransport(loss=0.5, seed=3)
+            received = []
+            t.register(0, collector([]))
+            t.register(1, collector(received))
+            await t.start()
+            for i in range(200):
+                await t.send(0, 1, {"n": i})
+            await asyncio.sleep(0.05)
+            await t.close()
+            return t.frames_sent, t.frames_dropped, len(received)
+
+        sent, dropped, delivered = run(scenario())
+        assert sent == 200
+        assert delivered == sent - dropped
+        assert 50 < dropped < 150  # ~50% with a seeded generator
+
+    def test_kill_is_a_silent_drop(self):
+        async def scenario():
+            t = LoopbackTransport()
+            received = []
+            t.register(0, collector([]))
+            t.register(1, collector(received))
+            await t.start()
+            t.kill(1)
+            await t.send(0, 1, {"n": 1})  # no exception: packet into the void
+            await asyncio.sleep(0.01)
+            with pytest.raises(TransportError, match="down"):
+                await t.send(1, 0, {"n": 2})  # a dead peer cannot send
+            await t.close()
+            return received, t.frames_dropped
+
+        received, dropped = run(scenario())
+        assert received == [] and dropped == 1
+
+    def test_unknown_destination(self):
+        async def scenario():
+            t = LoopbackTransport()
+            t.register(0, collector([]))
+            await t.start()
+            with pytest.raises(TransportError, match="no such peer"):
+                await t.send(0, 99, {"n": 1})
+            await t.close()
+
+        run(scenario())
+
+    def test_send_before_start_refused(self):
+        async def scenario():
+            t = LoopbackTransport()
+            t.register(0, collector([]))
+            with pytest.raises(TransportError, match="not started"):
+                await t.send(0, 0, {"n": 1})
+
+        run(scenario())
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LoopbackTransport(loss=1.0)
+
+
+class TestTcp:
+    def test_round_trip_over_sockets(self):
+        async def scenario():
+            t = TcpTransport()
+            received = []
+            t.register(0, collector([]))
+            t.register(1, collector(received))
+            await t.start()
+            assert set(t.addresses) == {0, 1}
+            for i in range(5):
+                await t.send(0, 1, {"n": i})
+            await asyncio.sleep(0.05)
+            await t.close()
+            return received
+
+        out = run(scenario())
+        assert [e["n"] for e in out] == list(range(5))
+
+    def test_killed_peer_raises(self):
+        async def scenario():
+            t = TcpTransport()
+            t.register(0, collector([]))
+            t.register(1, collector([]))
+            await t.start()
+            t.kill(1)
+            with pytest.raises(TransportError):
+                await t.send(0, 1, {"n": 1})
+            await t.close()
+
+        run(scenario())
+
+
+class TestRpc:
+    @staticmethod
+    def make_pair(transport=None, retry=None):
+        t = transport or LoopbackTransport()
+        a = RpcEndpoint(t, 0, retry=retry, seed=1)
+        b = RpcEndpoint(t, 1, retry=retry, seed=2)
+        return t, a, b
+
+    def test_call_returns_handler_reply(self):
+        async def scenario():
+            t, a, b = self.make_pair()
+
+            async def handler(src, body):
+                return {"echo": body["x"], "from": src}
+
+            b.on(dict, handler)
+            await t.start()
+            reply = await a.call(1, {"x": 42})
+            await t.close()
+            return reply
+
+        assert run(scenario()) == {"echo": 42, "from": 0}
+
+    def test_missing_handler_reports_error(self):
+        async def scenario():
+            t, a, b = self.make_pair()
+            await t.start()
+            reply = await a.call(1, {"x": 1})
+            await t.close()
+            return reply
+
+        assert "error" in run(scenario())
+
+    def test_handler_exception_becomes_error_reply(self):
+        async def scenario():
+            t, a, b = self.make_pair()
+
+            async def handler(src, body):
+                raise KeyError("boom")
+
+            b.on(dict, handler)
+            await t.start()
+            reply = await a.call(1, {"x": 1})
+            await t.close()
+            return reply
+
+        assert "KeyError" in run(scenario())["error"]
+
+    def test_timeout_after_bounded_retries(self):
+        async def scenario():
+            policy = RetryPolicy(timeout=0.05, retries=2, backoff=0.01)
+            t, a, b = self.make_pair(retry=policy)
+            await t.start()
+            t.kill(1)
+            with pytest.raises(RpcTimeout, match="3 attempts"):
+                await a.call(1, {"x": 1})
+            await t.close()
+            return a.retries_performed
+
+        assert run(scenario()) == 2
+
+    def test_lossy_link_retries_until_reply(self):
+        async def scenario():
+            policy = RetryPolicy(timeout=0.05, retries=8, backoff=0.005, jitter=0.0)
+            t = LoopbackTransport(loss=0.4, seed=7)
+            a = RpcEndpoint(t, 0, retry=policy, seed=1)
+            b = RpcEndpoint(t, 1, retry=policy, seed=2)
+            calls = []
+
+            async def handler(src, body):
+                calls.append(body["n"])
+                return {"ok": True}
+
+            b.on(dict, handler)
+            await t.start()
+            for n in range(10):
+                await a.call(1, {"n": n})
+            await t.close()
+            return calls, a.retries_performed
+
+        calls, retries = run(scenario())
+        # every logical message processed exactly once despite loss + retries
+        assert calls == list(range(10))
+        assert retries > 0
+
+    def test_duplicate_request_replays_cached_reply(self):
+        async def scenario():
+            t, a, b = self.make_pair()
+            invocations = []
+
+            async def handler(src, body):
+                invocations.append(body)
+                return {"val": len(invocations)}
+
+            b.on(dict, handler)
+            await t.start()
+            envelope = {"kind": "req", "id": 777, "src": 0, "dst": 1, "body": {"x": 1}}
+            fut = asyncio.get_running_loop().create_future()
+            a._pending[777] = fut
+            await t.send(0, 1, envelope)
+            first = await asyncio.wait_for(fut, 1)
+            fut2 = asyncio.get_running_loop().create_future()
+            a._pending[777] = fut2
+            await t.send(0, 1, envelope)  # identical retry
+            second = await asyncio.wait_for(fut2, 1)
+            await t.close()
+            return invocations, first, second
+
+        invocations, first, second = run(scenario())
+        assert len(invocations) == 1  # handler ran once
+        assert first == second == {"val": 1}
+
+
+class TestPolicyAndDedup:
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(factor=0.5)
+
+    def test_dedup_cache_fifo_eviction(self):
+        cache = DedupCache(capacity=3)
+        assert not cache.seen("a")
+        assert not cache.seen("b")
+        assert not cache.seen("c")
+        assert cache.seen("a")
+        assert not cache.seen("d")  # evicts "a" (oldest)
+        assert "a" not in cache
+        assert not cache.seen("a")
+        assert len(cache) == 3
+
+    def test_dedup_cache_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DedupCache(capacity=0)
