@@ -142,6 +142,13 @@ def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument("--seed", type=int, default=0, help="environment RNG seed")
     sub.add_argument(
+        "--distributed",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="DHT-routed discovery with per-peer pools (default); "
+        "--no-distributed keeps the shared in-process ground truth",
+    )
+    sub.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -224,6 +231,7 @@ def _build_cluster(args, trace: Optional[EventTrace]):
         transport=args.transport,
         port_base=args.port_base,
         seed=args.seed,
+        distributed=args.distributed,
     )
     return LiveCluster(cfg, trace=trace)
 

@@ -26,10 +26,11 @@ import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .qos import QoSRequirement, QoSVector
-from .selection import CandidateGraph
+from .resources import ResourcePool
+from .selection import CandidateGraph, admit_graph
 from .service_graph import ServiceGraph
 
-__all__ = ["backup_count", "select_backups", "bottleneck_order"]
+__all__ = ["backup_count", "select_backups", "bottleneck_order", "revalidate_backup"]
 
 
 def backup_count(
@@ -72,6 +73,28 @@ def bottleneck_order(
         m.component_id
         for m in sorted(comps, key=lambda m: (-peer_failure(m.peer), m.component_id))
     ]
+
+
+def revalidate_backup(
+    cand: CandidateGraph,
+    pool: ResourcePool,
+    alive: Callable[[int], bool],
+    token,
+) -> bool:
+    """Check a backup against *current* state at failover time.
+
+    Backups are monitored, not reserved (§5): their ranking reflects the
+    resource state at composition time, and other sessions may have
+    claimed their capacity since.  A backup is usable now iff every host
+    peer is still alive **and** the graph admits against the pool as it
+    stands this instant — admission makes the firm claim under ``token``
+    on success, so a ``True`` return means the switch is already booked.
+    On failure nothing is claimed and the caller moves to the next
+    backup (then to reactive BCP).
+    """
+    if not all(alive(p) for p in cand.graph.peers()):
+        return False
+    return admit_graph(cand.graph, pool, token)
 
 
 def select_backups(

@@ -149,6 +149,19 @@ class ResourcePool:
         self._vectorized = vectorized and hasattr(router, "link_indices")
         self._claims: Dict[Hashable, _Claim] = {}
 
+    def clone_empty(self) -> "ResourcePool":
+        """A fresh pool over the same overlay and capacities, zero claims.
+
+        Live distributed peers each own one: identical ground capacity,
+        independent allocation state (``ResourceVector`` is frozen, so
+        sharing the capacity values is safe)."""
+        return ResourcePool(
+            self.overlay,
+            dict(self._capacity),
+            resource_types=self.resource_types,
+            vectorized=self._vectorized,
+        )
+
     def set_vectorized(self, enabled: bool) -> None:
         """Toggle the NumPy bandwidth fast path (A/B comparison runs)."""
         self._vectorized = enabled and hasattr(self.overlay.router, "link_indices")
@@ -323,6 +336,24 @@ class ResourcePool:
 
     def has_token(self, token: Hashable) -> bool:
         return token in self._claims
+
+    def claim_usage(
+        self, token: Hashable
+    ) -> Tuple[List[Tuple[int, Dict[str, float]]], List[Tuple[Link, float]]]:
+        """One token's reservations as plain data:
+        ``([(peer, {rtype: amount}), ...], [(link, bandwidth), ...])``.
+
+        The live distributed runtime ships these to the composing
+        destination (piggybacked on the probe wave) so ψλ can be
+        evaluated against wave-wide load without reading remote pools.
+        Raises ``KeyError`` for an unknown (e.g. already expired) token.
+        """
+        claim = self._claims[token]
+        peers = [
+            (p, {t: req.get(t) for t in req.types() if req.get(t)})
+            for p, req in claim.peers
+        ]
+        return peers, list(claim.links)
 
     def utilisation(self, peer: int, rtype: str) -> float:
         cap = self._capacity[peer].get(rtype)

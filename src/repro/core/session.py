@@ -30,9 +30,9 @@ from ..sim.engine import PeriodicTask, Simulator
 from ..sim.metrics import MessageLedger
 
 from .bcp import BCP, CompositionResult
-from .recovery import backup_count, select_backups
+from .recovery import backup_count, revalidate_backup, select_backups
 from .request import CompositeRequest
-from .selection import CandidateGraph, admit_graph
+from .selection import CandidateGraph
 from .service_graph import ServiceGraph
 
 __all__ = ["SessionState", "RecoveryConfig", "ServiceSession", "SessionManager"]
@@ -283,6 +283,12 @@ class SessionManager:
         if not dead_again:
             return
         self.stats.failures += 1
+        # free the broken graph's firm claims *before* trying backups:
+        # select_backups maximises overlap with the current graph, so its
+        # strongest picks are exactly the graphs admission would reject
+        # for capacity the failed session itself still holds.  The graph
+        # is broken either way — nothing streams over those claims.
+        self._release_claims_only(session)
         if self.config.proactive and self._switch_to_backup(session):
             return
         if self.config.reactive and self._reactive_recover(session):
@@ -297,13 +303,9 @@ class SessionManager:
         while session.backups:
             cand = session.backups.pop(0)
             graph = cand.graph
-            if not all(self.alive(p) for p in graph.peers()):
-                continue
             token = (session.session_id, "switch", session.recoveries, graph.signature()[1])
-            if not admit_graph(graph, self.pool, token):
+            if not revalidate_backup(cand, self.pool, self.alive, token):
                 continue
-            # release the broken graph only after the new one is admitted
-            self._release_claims_only(session)
             session.tokens = [token]
             session.current = graph
             session.recoveries += 1
@@ -326,7 +328,6 @@ class SessionManager:
         )
         if not result.success or result.best is None:
             return False
-        self._release_claims_only(session)
         session.tokens = list(result.session_tokens)
         session.current = result.best
         session.recoveries += 1

@@ -16,6 +16,7 @@ from .id_space import (
 )
 from .node import LeafSet, PastryNodeState, RoutingTable
 from .pastry import PastryNetwork, RouteResult, RoutingFailure
+from .ring import RingSnapshot
 
 __all__ = [
     "DEFAULT_B",
@@ -24,6 +25,7 @@ __all__ = [
     "LeafSet",
     "PastryNetwork",
     "PastryNodeState",
+    "RingSnapshot",
     "RouteResult",
     "RoutingFailure",
     "RoutingTable",

@@ -26,6 +26,7 @@ from ..sim.rng import as_generator
 from ..topology.overlay import Overlay
 from .id_space import DEFAULT_B, circular_distance, random_id
 from .node import PastryNodeState
+from .ring import RingSnapshot
 
 __all__ = ["RouteResult", "PastryNetwork", "RoutingFailure"]
 
@@ -211,6 +212,19 @@ class PastryNetwork:
         # candidates: neighbours around the insertion point
         cands = {self._ring[i], self._ring[i - 1]}
         return min(cands, key=lambda c: (circular_distance(key, c), c))
+
+    def ring_snapshot(self) -> RingSnapshot:
+        """A frozen key → owner view of the current ring.
+
+        Live peers carry this away from bootstrap to resolve directory
+        owners without reading shared DHT storage; see
+        :class:`~repro.dht.ring.RingSnapshot` for the staleness model.
+        """
+        return RingSnapshot(
+            self._ring,
+            {nid: self.nodes[nid].peer for nid in self._ring},
+            replicas=self.replicas,
+        )
 
     def route(self, key: int, origin_peer: int) -> RouteResult:
         """Route ``key`` from ``origin_peer`` to the responsible node."""

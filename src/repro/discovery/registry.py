@@ -18,7 +18,7 @@ prototype amortises these lookups within a session-setup wave.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..dht.id_space import key_for
 from ..dht.pastry import PastryNetwork, RouteResult
@@ -58,6 +58,18 @@ class ServiceRegistry:
         self._cache: Dict[Tuple[int, str], Tuple[float, List[ServiceMetadata]]] = {}
         self._down_peers: Set[int] = set()
         self._registered: Dict[int, List[ServiceMetadata]] = {}  # by hosting peer
+        self._access_hook: Optional[Callable[[str], None]] = None
+
+    def set_access_hook(self, hook: Optional[Callable[[str], None]]) -> None:
+        """Install (or clear) a callable invoked with the method name
+        before every registry read/write.  Live clusters in distributed
+        mode use this to *prove* peers never consult the shared
+        registry — the hook records a violation and raises."""
+        self._access_hook = hook
+
+    def _accessed(self, name: str) -> None:
+        if self._access_hook is not None:
+            self._access_hook(name)
 
     # ------------------------------------------------------------------
     # registration
@@ -66,6 +78,7 @@ class ServiceRegistry:
         self, spec: ComponentSpec, origin_peer: Optional[int] = None, now: float = 0.0
     ) -> RouteResult:
         """Store a component's meta-data under hash(function name)."""
+        self._accessed("register")
         meta = ServiceMetadata.from_spec(spec, registered_at=now)
         origin = spec.peer if origin_peer is None else origin_peer
         result = self.dht.put(key_for(spec.function), meta, origin)
@@ -74,6 +87,7 @@ class ServiceRegistry:
 
     def deregister_peer(self, peer: int) -> int:
         """Permanently remove a peer's registrations from the DHT."""
+        self._accessed("deregister_peer")
         removed = 0
         for meta in self._registered.pop(peer, []):
             removed += self.dht.remove_values(
@@ -101,6 +115,7 @@ class ServiceRegistry:
         include_down: bool = False,
     ) -> LookupResult:
         """Return the duplicate list for ``function`` as seen from a peer."""
+        self._accessed("lookup")
         cache_key = (origin_peer, function)
         if self.cache_ttl is not None and now is not None:
             hit = self._cache.get(cache_key)
@@ -118,6 +133,7 @@ class ServiceRegistry:
     def duplicates(self, function: str, include_down: bool = False) -> List[ServiceMetadata]:
         """Global-knowledge view of a function's duplicates (for baselines
         and the centralized comparison algorithm — *not* used by BCP)."""
+        self._accessed("duplicates")
         seen: Dict[int, ServiceMetadata] = {}
         for metas in self._registered.values():
             for m in metas:
@@ -130,14 +146,17 @@ class ServiceRegistry:
 
     def functions(self) -> List[str]:
         """All function names with at least one registration."""
+        self._accessed("functions")
         names = {m.function for metas in self._registered.values() for m in metas}
         return sorted(names)
 
     def registered_on(self, peer: int) -> List[ServiceMetadata]:
+        self._accessed("registered_on")
         return list(self._registered.get(peer, []))
 
     def wave_cache(self, ledger=None) -> "WaveLookupCache":
         """A fresh per-wave lookup memo (one per ``BCP.compose()`` call)."""
+        self._accessed("wave_cache")
         return WaveLookupCache(self, ledger=ledger)
 
 

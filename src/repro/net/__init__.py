@@ -19,6 +19,9 @@ Modules
 ``rpc``        request/response with timeouts, retries + backoff, dedup
 ``peer``       the peer daemon (probe processing, soft-state timers,
                session ack handling, maintenance pings)
+``directory``  the per-peer slice of the distributed service directory
+``guard``      ``SharedStateGuard`` — seals shared registry/pool/DHT
+               storage to prove distributed mode never reads them
 ``accounting`` ``MessageLedger`` adapter mapping wire frames onto the
                simulation's overhead-accounting categories
 ``cluster``    boots N peers on localhost and composes end-to-end
@@ -35,6 +38,8 @@ from .codec import (
     to_wire,
 )
 from .cluster import ClusterConfig, LiveCluster
+from .directory import DirectorySlice
+from .guard import SharedStateGuard, SharedStateViolation
 from .peer import PeerDaemon
 from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError, RpcTimeout
 from .transport import LoopbackTransport, TcpTransport, TransportError
@@ -57,6 +62,9 @@ __all__ = [
     "DedupCache",
     "LedgerTap",
     "PeerDaemon",
+    "DirectorySlice",
+    "SharedStateGuard",
+    "SharedStateViolation",
     "ClusterConfig",
     "LiveCluster",
 ]

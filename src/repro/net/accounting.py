@@ -13,10 +13,14 @@ cluster report the same books:
   sim mode.  This keeps live and sim numbers directly comparable.
 * **wire charges** record what actually crossed the transport:
   ``net_probe`` / ``net_final`` / ``net_credit`` / ``net_session`` /
-  ``net_ping`` / ``net_control`` frames with their true encoded sizes,
-  plus every response frame as ``net_ack``.  These keys are live-only
-  (the simulator has no real frames) and never pollute the
-  ``BCP_CATEGORIES`` totals.
+  ``net_ping`` / ``net_control`` / ``net_directory`` frames with their
+  true encoded sizes, plus every response frame as ``net_ack``.  These
+  keys are live-only (the simulator has no real frames) and never
+  pollute the ``BCP_CATEGORIES`` totals.  ``net_directory`` covers the
+  distributed-mode discovery plane (RegisterComponent / LookupRequest
+  to the DHT owner of a function key); the DHT *routing* cost of
+  finding that owner still lands in ``dht_route``, charged per hop by
+  :meth:`~repro.dht.pastry.PastryNetwork.route` exactly as in sim mode.
 """
 
 from __future__ import annotations
@@ -37,14 +41,15 @@ WIRE_CATEGORY = {
     codec.ProbeTransfer: "net_probe",
     codec.FinalProbe: "net_final",
     codec.CreditReturn: "net_credit",
+    codec.ReservationReport: "net_control",
     codec.SessionConfirm: "net_session",
     codec.SessionRelease: "net_session",
     codec.MaintenancePing: "net_ping",
     codec.ComposeBegin: "net_control",
     codec.DiscoveryReport: "net_control",
     codec.ComposeResult: "net_control",
-    codec.RegisterComponent: "net_control",
-    codec.LookupRequest: "net_control",
+    codec.RegisterComponent: "net_directory",
+    codec.LookupRequest: "net_directory",
 }
 
 

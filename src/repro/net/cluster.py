@@ -12,12 +12,22 @@ compositions end-to-end over the wire:
         request = cluster.scenario.requests.next_request()
         result = await cluster.compose(request)
 
-The cluster keeps the *state* in-process (one shared overlay, pool and
-registry — the daemons are separate actors over shared ground truth)
-while every protocol step crosses the transport as encoded frames.  The
-shared :class:`~repro.net.accounting.LedgerTap` wraps the SpiderNet
-ledger, so sim-category books (``bcp_probe`` …) and live wire books
-(``net_*``) land in one place.
+Two state models are supported.  **Distributed mode** (the default)
+gives every daemon its own resource pool and its own
+:class:`~repro.net.directory.DirectorySlice`: component meta-data lives
+with the peer owning ``hash(function)`` in the DHT id space, discovery
+and registration travel as DHT-routed RPCs, and soft-state reservations
+are owned by the hosting peer — there is no shared ground truth, and a
+:class:`~repro.net.guard.SharedStateGuard` seals the shared registry,
+pool and DHT storage while the cluster runs to *prove* it.  **Shared
+mode** (``distributed=False``) keeps the original arrangement — one
+shared overlay, pool and registry, with daemons as separate actors over
+shared ground truth — and remains the apples-to-apples baseline for the
+sim-parity harness.  In both modes every protocol step crosses the
+transport as encoded frames, and the shared
+:class:`~repro.net.accounting.LedgerTap` wraps the SpiderNet ledger, so
+sim-category books (``bcp_probe`` …) and live wire books (``net_*``)
+land in one place.
 """
 
 from __future__ import annotations
@@ -27,11 +37,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from ..core.bcp import BCPConfig, CompositionResult
+from ..core.bcp import BCP, BCPConfig, CompositionResult
 from ..core.request import CompositeRequest
 from ..workload.generator import RequestConfig
 from ..workload.scenarios import Scenario, simulation_testbed
 from .accounting import LedgerTap
+from .directory import DirectorySlice
+from .guard import SharedStateGuard
 from .peer import PeerDaemon
 from .rpc import RetryPolicy, RpcEndpoint
 from .transport import LoopbackTransport, TcpTransport
@@ -62,6 +74,9 @@ class ClusterConfig:
     probe_retry: Optional[RetryPolicy] = None
     control_retry: Optional[RetryPolicy] = None
     maint_interval: Optional[float] = None  # source-side session pings; None = off
+    # True: DHT-routed discovery + per-peer pools, shared state sealed.
+    # False: the original shared-ground-truth arrangement (sim parity).
+    distributed: bool = True
 
 
 class LiveCluster:
@@ -104,14 +119,39 @@ class LiveCluster:
             self.transport = TcpTransport(port_base=cfg.port_base, tap=self.tap.on_frame)
         else:
             raise ValueError(f"unknown transport {cfg.transport!r} (loopback|tcp)")
+        self.distributed = cfg.distributed
+        # distributed mode seals the shared registry/pool/DHT storage for
+        # the cluster's lifetime: any read through them is a bug, and the
+        # guard records it (then raises) instead of letting it pass
+        self.shared_guard = SharedStateGuard() if self.distributed else None
+        ring = self.net.dht.ring_snapshot() if self.distributed else None
+        shared = self.net.bcp
         self.daemons: Dict[int, PeerDaemon] = {}
         for peer in sorted(scenario.overlay.peers()):
             endpoint = RpcEndpoint(
                 self.transport, peer, retry=cfg.control_retry, seed=cfg.seed + peer
             )
+            if self.distributed:
+                # each daemon owns its soft state: a private (empty) pool
+                # clone plus a private directory slice.  The registry
+                # reference stays wired for API symmetry but is sealed.
+                bcp = BCP(
+                    shared.overlay,
+                    shared.pool.clone_empty(),
+                    shared.registry,
+                    config=shared.config,
+                    ledger=shared.ledger,
+                    peer_failure=shared.peer_failure,
+                    alive=shared.alive,
+                    rng=shared.rng,
+                    trust=shared.trust,
+                )
+                directory: Optional[DirectorySlice] = DirectorySlice()
+            else:
+                bcp, directory = shared, None
             self.daemons[peer] = PeerDaemon(
                 peer_id=peer,
-                bcp=self.net.bcp,
+                bcp=bcp,
                 endpoint=endpoint,
                 peers=sorted(scenario.overlay.peers()),
                 counters=self._counters,
@@ -123,6 +163,9 @@ class LiveCluster:
                 probe_retry=cfg.probe_retry,
                 control_retry=cfg.control_retry,
                 maint_interval=cfg.maint_interval,
+                directory=directory,
+                ring=ring,
+                dht=self.net.dht,
             )
         self._started = False
 
@@ -140,6 +183,11 @@ class LiveCluster:
     async def start(self) -> "LiveCluster":
         self._t0 = time.monotonic()
         await self.transport.start()
+        if self.shared_guard is not None:
+            # seal *before* populating the directory: registration must
+            # itself be wire-only for the no-shared-reads proof to hold
+            self.shared_guard.seal(self.net.registry, self.net.pool, self.net.dht)
+            await self._populate_directory()
         self._started = True
         if self.trace is not None:
             self.trace.record(
@@ -148,12 +196,23 @@ class LiveCluster:
             )
         return self
 
+    async def _populate_directory(self) -> None:
+        """Boot-time registration pass: every hosting daemon pushes its
+        components to their DHT owners as RegisterComponent RPCs."""
+        by_peer: Dict[int, list] = {}
+        for spec in self.scenario.population:
+            by_peer.setdefault(spec.peer, []).append(spec)
+        for peer in sorted(by_peer):
+            await self.daemons[peer].register_components(by_peer[peer], now=0.0)
+
     async def stop(self) -> None:
         for daemon in self.daemons.values():
             daemon.stop()
         for daemon in self.daemons.values():
             await daemon.drain()
         await self.transport.close()
+        if self.shared_guard is not None:
+            self.shared_guard.unseal()
         self._started = False
         if self.trace is not None:
             self.trace.record("cluster_stopped", time=self._clock())
@@ -220,6 +279,17 @@ class LiveCluster:
             for rid, tokens in daemon._tokens.items():
                 if tokens:
                     out.setdefault(rid, set()).update(tokens)
+        return out
+
+    def pool_tokens(self) -> Dict[int, List]:
+        """Active allocation tokens per daemon pool (soft *and* firm).
+
+        In shared mode every daemon reports the same shared pool; in
+        distributed mode each entry is that peer's private pool — the
+        union is the cluster-wide allocation state."""
+        out: Dict[int, List] = {}
+        for peer, daemon in sorted(self.daemons.items()):
+            out[peer] = sorted(daemon.bcp.pool.active_tokens(), key=repr)
         return out
 
     def errors(self) -> List[str]:

@@ -46,6 +46,7 @@ __all__ = [
     "ProbeTransfer",
     "FinalProbe",
     "CreditReturn",
+    "ReservationReport",
     "SessionConfirm",
     "SessionRelease",
     "ComposeResult",
@@ -421,6 +422,28 @@ class CreditReturn:
 
 @_message
 @dataclass(frozen=True)
+class ReservationReport:
+    """Admitting peer → destination: fresh soft reservations' demands.
+
+    Distributed mode only.  ``peers`` is ``((peer, rtype, amount), ...)``
+    and ``links`` is ``((u, v, bandwidth), ...)``; the destination
+    accumulates them per request so ψλ selection sees the whole wave's
+    load exactly as the shared-pool engines do.  The sender awaits the
+    ack *before* forwarding the probe's credit anywhere, so the
+    collection window cannot close with a report still in flight.
+    """
+
+    request_id: int
+    peers: Tuple[Tuple[int, str, float], ...]
+    links: Tuple[Tuple[int, int, float], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "peers", _tokens_tuple(self.peers))
+        object.__setattr__(self, "links", _tokens_tuple(self.links))
+
+
+@_message
+@dataclass(frozen=True)
 class SessionConfirm:
     """Destination → path peers: setup ack confirming soft reservations."""
 
@@ -476,15 +499,24 @@ class MaintenancePing:
 @_message
 @dataclass(frozen=True)
 class RegisterComponent:
-    """Peer → registry host: register a component's static meta-data."""
+    """Hosting peer → directory owner: store a component's meta-data.
+
+    In distributed mode the receiver holds the row in its own
+    :class:`~repro.net.directory.DirectorySlice`; ``registered_at`` is
+    the registrant's clock so replicas stamp identical meta-data."""
 
     spec: ComponentSpec
+    registered_at: float = 0.0
 
 
 @_message
 @dataclass(frozen=True)
 class LookupRequest:
-    """Peer → registry host: discovery query for a function's duplicates."""
+    """Querying peer → directory owner: a function's duplicate list.
+
+    The reply carries the owner slice's ``ServiceMetadata`` rows; the
+    querier computes the lookup RTT itself from the DHT route it took
+    to find the owner."""
 
     function: str
     origin_peer: int

@@ -1,0 +1,52 @@
+"""A live peer's slice of the decentralized service directory.
+
+In distributed mode every :class:`~repro.net.peer.PeerDaemon` stores the
+meta-data rows whose DHT keys it owns (or replicates) — the live
+counterpart of one Pastry node's ``store``.  Rows arrive exclusively as
+``RegisterComponent`` frames and leave as ``LookupRequest`` replies; the
+slice never consults the shared :class:`ServiceRegistry`, which is what
+the cluster's shared-state guard asserts.
+
+Rows are keyed by ``(key, component_id)`` so re-registration (a peer
+retrying a boot-time RPC, or a replica receiving the same row from two
+paths) is idempotent rather than duplicating directory entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..discovery.metadata import ServiceMetadata
+
+__all__ = ["DirectorySlice"]
+
+
+class DirectorySlice:
+    """The directory rows one live peer holds for keys it is responsible for."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[int, Dict[int, ServiceMetadata]] = {}
+        self.stores = 0  # RegisterComponent frames applied (incl. repeats)
+        self.serves = 0  # LookupRequest queries answered from this slice
+
+    def store(self, key: int, meta: ServiceMetadata) -> bool:
+        """Insert one row; True iff it was not already present."""
+        rows = self._rows.setdefault(key, {})
+        fresh = meta.component_id not in rows
+        rows[meta.component_id] = meta
+        self.stores += 1
+        return fresh
+
+    def lookup(self, key: int) -> List[ServiceMetadata]:
+        """Every row stored under ``key``, in deterministic order."""
+        self.serves += 1
+        rows = self._rows.get(key)
+        if not rows:
+            return []
+        return [rows[cid] for cid in sorted(rows)]
+
+    def keys(self) -> List[int]:
+        return sorted(self._rows)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())

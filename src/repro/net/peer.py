@@ -27,7 +27,19 @@ credit lost with a crashed peer.
 timers (the paper's soft allocation): a reservation not confirmed by the
 setup ack within the timeout evaporates on its own, which is also what
 cleans up after probes that were still in flight when the destination
-closed the window.
+closed the window.  Confirmed (firm) tokens are tracked separately so a
+later release — a setup ack that fails partway, or a session teardown —
+frees them too instead of leaking capacity.
+
+**Distributed mode.**  With a ``directory``/``ring``/``dht`` triple the
+daemon stops consulting the shared :class:`ServiceRegistry` entirely:
+component meta-data lives in the :class:`DirectorySlice` of the peer
+owning ``hash(function)`` in the DHT id space (plus its replica-ring
+successors), registration and discovery travel as
+:class:`~repro.net.codec.RegisterComponent` /
+:class:`~repro.net.codec.LookupRequest` RPCs, and the lookup RTT is
+derived from the same Pastry route a sync lookup would take — so the
+message ledger and probe timing stay comparable across modes.
 """
 
 from __future__ import annotations
@@ -46,8 +58,13 @@ from ..core.request import CompositeRequest
 from ..core.resources import InsufficientResources
 from ..core.selection import admit_graph, merge_probes, select_composition
 from ..core.service_graph import ServiceGraph
+from ..dht.id_space import key_for
+from ..dht.ring import RingSnapshot
+from ..discovery.metadata import ServiceMetadata
+from ..services.component import ComponentSpec
 from . import codec
 from .accounting import LedgerTap
+from .directory import DirectorySlice
 from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError
 
 __all__ = ["PeerDaemon", "LiveSession"]
@@ -79,6 +96,52 @@ class _Collection:
     discovery: float = 0.0
     deadline_handle: Optional[asyncio.TimerHandle] = None
     done: bool = False
+    # distributed mode: remote peers' wave reservations, accumulated from
+    # ReservationReport frames ((peer, rtype) -> amount, link -> bandwidth)
+    wave_peer_used: Dict[Tuple[int, str], float] = field(default_factory=dict)
+    wave_link_used: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+
+class _WaveLoadView:
+    """The pool interface ψλ needs, over (local pool − remote wave load).
+
+    A distributed destination's pool holds only the claims it admitted
+    itself; the rest of the wave's soft reservations live in the
+    admitting peers' pools and arrive as :class:`ReservationReport`
+    deltas.  Subtracting those deltas from the local view reconstructs
+    exactly the availability a shared-pool engine would see at selection
+    time — wire-only, no remote reads.
+    """
+
+    def __init__(
+        self,
+        pool,
+        peer_used: Dict[Tuple[int, str], float],
+        link_used: Dict[Tuple[int, int], float],
+    ) -> None:
+        self._pool = pool
+        self._peer_used = peer_used
+        self._link_used = link_used
+
+    @property
+    def resource_types(self):
+        return self._pool.resource_types
+
+    def available_amount(self, peer: int, rtype: str) -> float:
+        base = self._pool.available_amount(peer, rtype)
+        return max(base - self._peer_used.get((peer, rtype), 0.0), 0.0)
+
+    def path_available_bandwidth(self, src: int, dst: int) -> float:
+        if src == dst:
+            return math.inf
+        links = self._pool.overlay.router.links(src, dst)
+        if not links:
+            return math.inf
+        low = min(
+            self._pool.link_available(l) - self._link_used.get(tuple(sorted(l)), 0.0)
+            for l in links
+        )
+        return low if low > 0.0 else 0.0
 
 
 class PeerDaemon:
@@ -99,11 +162,19 @@ class PeerDaemon:
         probe_retry: Optional[RetryPolicy] = None,
         control_retry: Optional[RetryPolicy] = None,
         maint_interval: Optional[float] = None,
+        directory: Optional[DirectorySlice] = None,
+        ring: Optional[RingSnapshot] = None,
+        dht=None,
     ) -> None:
         self.peer_id = peer_id
         self.bcp = bcp
         self.endpoint = endpoint
         self.peers = list(peers)
+        # distributed mode: all three are set and the shared registry is
+        # never read — discovery goes over the wire to the key's owner
+        self.directory = directory
+        self.ring = ring
+        self.dht = dht if dht is not None else getattr(bcp.registry, "dht", None)
         self.counters = counters  # shared rid -> probes_sent (harness bookkeeping)
         self.tap = tap
         self.trace = trace
@@ -116,6 +187,7 @@ class PeerDaemon:
         self.stopped = False
         self.errors: List[str] = []
         self._tokens: Dict[int, Set[Tuple]] = {}  # rid -> soft tokens owned here
+        self._confirmed: Dict[int, Set[Tuple]] = {}  # rid -> firm tokens owned here
         self._timers: Dict[Tuple[int, Tuple], asyncio.TimerHandle] = {}
         self._seen = DedupCache()  # (rid, Probe.dedup_key()) application dedup
         self._collections: Dict[int, _Collection] = {}
@@ -127,6 +199,7 @@ class PeerDaemon:
         endpoint.on(codec.ProbeTransfer, self._on_probe)
         endpoint.on(codec.FinalProbe, self._on_final)
         endpoint.on(codec.CreditReturn, self._on_credit)
+        endpoint.on(codec.ReservationReport, self._on_reservation)
         endpoint.on(codec.SessionRelease, self._on_release)
         endpoint.on(codec.SessionConfirm, self._on_confirm)
         endpoint.on(codec.ComposeResult, self._on_result)
@@ -137,6 +210,11 @@ class PeerDaemon:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+    @property
+    def distributed(self) -> bool:
+        """True when discovery is DHT-routed instead of shared-registry."""
+        return self.directory is not None and self.ring is not None
+
     def _now(self) -> float:
         return float(self._clock())
 
@@ -267,9 +345,9 @@ class PeerDaemon:
         lookups = []
         max_rtt = 0.0
         for fn, _, _, _ in candidates:
-            res = self.bcp.registry.lookup(fn, probe.current_peer)
-            lookups.append(res.components)
-            max_rtt = max(max_rtt, res.rtt)
+            comps, rtt = await self._lookup(fn, probe.current_peer)
+            lookups.append(comps)
+            max_rtt = max(max_rtt, rtt)
         if probe.branch == ():
             # the root expansion's slowest lookup is the discovery phase
             await self.endpoint.call(request.dest_peer, codec.DiscoveryReport(rid, max_rtt))
@@ -302,6 +380,40 @@ class PeerDaemon:
                 for fn, graph, applied, comp, b in sends
             )
         )
+
+    async def _lookup(self, function: str, origin_peer: int) -> Tuple[List[ServiceMetadata], float]:
+        """Resolve a function's duplicate list: shared registry, or the
+        DHT-routed directory owner in distributed mode.
+
+        The distributed path routes ``hash(function)`` through Pastry
+        first — charging the DHT ledger per hop exactly as a sync lookup
+        would, and pricing the query RTT off that route — then asks the
+        owning peer's directory slice over the wire.  A dead owner is
+        skipped in favour of its replica-ring successors; if every
+        replica is unreachable the function simply has no visible
+        duplicates this wave (the probe's credit returns as exhausted).
+        """
+        if not self.distributed:
+            res = self.bcp.registry.lookup(function, origin_peer)
+            return list(res.components), res.rtt
+        key = key_for(function)
+        route = self.dht.route(key, origin_peer)
+        rtt = 2.0 * route.latency
+        for target in self.ring.replica_peers(key):
+            if target == self.peer_id:
+                return self.directory.lookup(key), rtt
+            try:
+                reply = await self.endpoint.call(
+                    target, codec.LookupRequest(function, origin_peer), retry=self.probe_retry
+                )
+            except RpcError:
+                continue  # owner unreachable: fall back to the next replica
+            if not isinstance(reply, dict) or reply.get("error"):
+                continue
+            comps = [c for c in reply.get("components", ()) if isinstance(c, ServiceMetadata)]
+            return comps, rtt
+        self._trace("lookup_failed", function=function, origin=origin_peer)
+        return [], rtt
 
     async def _send_probe(
         self,
@@ -370,8 +482,14 @@ class PeerDaemon:
             parent, msg.function, msg.component, msg.graph, applied,
             msg.budget, msg.lookup_rtt, toks,
         )
-        for token in toks - before:
+        fresh = toks - before
+        for token in fresh:
             self._arm_expiry(rid, token)
+        if fresh and self.distributed and self.peer_id != request.dest_peer:
+            # awaited before this probe's credit can move anywhere, so
+            # the destination has the load deltas before the window can
+            # possibly close (even for probes that die right here)
+            await self._report_reservations(rid, request.dest_peer, fresh)
         if child is None:
             await self._return_credit(rid, request.dest_peer, msg.credit, "pruned")
             return
@@ -445,6 +563,44 @@ class PeerDaemon:
         self._credit(msg.request_id, col, msg.credit)
         return {"ok": True}
 
+    async def _report_reservations(self, rid: int, dest: int, tokens: Set[Tuple]) -> None:
+        """Ship freshly admitted reservations' demands to the destination."""
+        peers: List[Tuple[int, str, float]] = []
+        links: List[Tuple[int, int, float]] = []
+        for token in sorted(tokens):
+            try:
+                claim_peers, claim_links = self.bcp.pool.claim_usage(token)
+            except KeyError:
+                continue  # already expired or released
+            for peer, demands in claim_peers:
+                for rtype in sorted(demands):
+                    peers.append((peer, rtype, demands[rtype]))
+            for link, bw in claim_links:
+                u, v = tuple(sorted(link))
+                links.append((u, v, bw))
+        if not peers and not links:
+            return
+        try:
+            await self.endpoint.call(
+                dest,
+                codec.ReservationReport(rid, tuple(peers), tuple(links)),
+                retry=self.probe_retry,
+            )
+        except RpcError:
+            pass  # destination gone: the whole request is dead anyway
+
+    async def _on_reservation(self, src: int, msg: codec.ReservationReport) -> dict:
+        col = self._collections.get(msg.request_id)
+        if col is None or col.done:
+            return {"ok": True}  # straggler after the window closed
+        for peer, rtype, amount in msg.peers:
+            key = (int(peer), str(rtype))
+            col.wave_peer_used[key] = col.wave_peer_used.get(key, 0.0) + float(amount)
+        for u, v, bw in msg.links:
+            key = (int(u), int(v))
+            col.wave_link_used[key] = col.wave_link_used.get(key, 0.0) + float(bw)
+        return {"ok": True}
+
     def _credit(self, rid: int, col: _Collection, credit: Fraction) -> None:
         col.credit += credit
         if col.credit >= 1 and not col.done:
@@ -477,8 +633,15 @@ class PeerDaemon:
                 request, arrivals, self.bcp.overlay,
                 max_patterns=cfg.max_patterns, max_candidates=cfg.max_candidates,
             )
+            sel_pool = self.bcp.pool
+            if self.distributed:
+                # rank against the whole wave's load, not just the claims
+                # this destination admitted itself (see _WaveLoadView)
+                sel_pool = _WaveLoadView(
+                    self.bcp.pool, col.wave_peer_used, col.wave_link_used
+                )
             selection = select_composition(
-                candidates, request.qos, self.bcp.pool, cfg.cost_weights,
+                candidates, request.qos, sel_pool, cfg.cost_weights,
                 objective=cfg.objective,
             )
             result.qualified = selection.qualified
@@ -597,10 +760,18 @@ class PeerDaemon:
         out: Set[Tuple] = set()
         for token in sorted(keep):
             if token in mine and self.bcp.pool.has_token(token):
-                self.bcp.pool.confirm(token)
+                # disarm the expiry and drop the soft bookkeeping *before*
+                # confirming: an expiry callback already queued behind this
+                # frame must find nothing to cancel, not race the firm flip
                 self._cancel_timer(rid, token)
+                mine.discard(token)
+                self.bcp.pool.confirm(token)
                 out.add(token)
-        mine -= out  # firm now; no longer soft bookkeeping
+        if out:
+            # firm tokens are tracked so a later release (failed setup
+            # ack, session teardown) can free them — pool.cancel() refuses
+            # firm claims, so the soft path alone would leak them
+            self._confirmed.setdefault(rid, set()).update(out)
         if not mine:
             self._tokens.pop(rid, None)
         return out
@@ -623,10 +794,22 @@ class PeerDaemon:
             pass  # a dead peer's soft state expires on its own timers
 
     def _apply_release(self, rid: int, keep: Set[Tuple]) -> None:
+        keep = set(keep)
+        firm = self._confirmed.get(rid)
+        if firm:
+            # a setup ack that failed after partially confirming (or a
+            # torn-down session) leaves firm claims behind; cancel() puts
+            # those back, so they must be released explicitly or the
+            # capacity leaks for the lifetime of the pool
+            for token in sorted(firm - keep):
+                self.bcp.pool.release(token)
+                firm.discard(token)
+            if not firm:
+                self._confirmed.pop(rid, None)
         mine = self._tokens.get(rid)
         if not mine:
             return
-        for token in sorted(mine - set(keep)):
+        for token in sorted(mine - keep):
             self._cancel_timer(rid, token)
             try:
                 self.bcp.pool.cancel(token)
@@ -691,12 +874,44 @@ class PeerDaemon:
         return {"alive": not self.stopped, "request": msg.request_id, "seq": msg.seq}
 
     # ------------------------------------------------------------------
-    # registry slice
+    # directory slice (distributed) / registry passthrough (shared)
     # ------------------------------------------------------------------
+    async def register_components(self, specs: List[ComponentSpec], now: float = 0.0) -> None:
+        """Publish this peer's components over the wire (distributed boot).
+
+        Each spec travels to the DHT owner of its function key and to
+        that owner's replica-ring successors, so lookups survive the
+        owner's death.  A row is visible to other peers only once the
+        owner's RegisterComponent RPC completed — there is no
+        read-your-own-unregistered-write through shared memory.
+        """
+        if not self.distributed:
+            raise RuntimeError("register_components requires distributed mode")
+        for spec in specs:
+            key = key_for(spec.function)
+            msg = codec.RegisterComponent(spec, registered_at=now)
+            for target in self.ring.replica_peers(key):
+                if target == self.peer_id:
+                    self.directory.store(key, ServiceMetadata.from_spec(spec, registered_at=now))
+                else:
+                    await self.endpoint.call(target, msg, retry=self.control_retry)
+
     async def _on_register(self, src: int, msg: codec.RegisterComponent) -> dict:
+        if self.distributed:
+            if self.stopped:
+                return {"error": "stopped"}
+            fresh = self.directory.store(
+                key_for(msg.spec.function),
+                ServiceMetadata.from_spec(msg.spec, registered_at=msg.registered_at),
+            )
+            return {"ok": True, "fresh": fresh}
         self.bcp.registry.register(msg.spec)
         return {"ok": True}
 
     async def _on_lookup(self, src: int, msg: codec.LookupRequest) -> dict:
+        if self.distributed:
+            if self.stopped:
+                return {"error": "stopped"}
+            return {"components": self.directory.lookup(key_for(msg.function)), "rtt": 0.0}
         res = self.bcp.registry.lookup(msg.function, msg.origin_peer)
         return {"components": list(res.components), "rtt": res.rtt}

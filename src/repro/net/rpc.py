@@ -2,20 +2,31 @@
 
 Every protocol exchange in the live runtime is an acked RPC: the sender
 retries on timeout with exponential backoff + seeded jitter, and the
-receiver deduplicates by ``(src, msg_id)`` — a retried request re-sends
-the cached reply instead of re-invoking the handler, so handlers observe
-each logical message exactly once.  (Application-level dedup — probes
-keyed on :meth:`Probe.dedup_key` — sits one layer up in
+receiver deduplicates by ``(src, incarnation, msg_id)`` — a retried
+request re-sends the cached reply instead of re-invoking the handler, so
+handlers observe each logical message exactly once.  (Application-level
+dedup — probes keyed on :meth:`Probe.dedup_key` — sits one layer up in
 :class:`~repro.net.peer.PeerDaemon`, backed by :class:`DedupCache`.)
+
+The *incarnation* is a per-process nonce carried in every request
+envelope (``"inc"``) and echoed in its response.  Message ids restart
+from 1 when an endpoint restarts, so without the nonce a reborn peer
+reusing ``msg_id`` values would be served stale cached replies recorded
+for its previous life; responses bearing a foreign incarnation are
+likewise dropped instead of resolving the wrong in-flight call.  Cached
+replies additionally age out after ``reply_ttl`` seconds, so the cache
+cannot serve arbitrarily old state even within one incarnation.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import time
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Awaitable, Callable, Dict, Hashable, Optional, Type
+from typing import Any, Awaitable, Callable, Dict, Hashable, Optional, Tuple, Type
 
 from ..sim.rng import as_generator
 from .transport import TransportError
@@ -93,15 +104,27 @@ class RpcEndpoint:
         retry: Optional[RetryPolicy] = None,
         seed: int = 0,
         reply_cache: int = 8192,
+        reply_ttl: float = 120.0,
+        clock: Optional[Callable[[], float]] = None,
+        incarnation: Optional[str] = None,
     ) -> None:
         self.transport = transport
         self.peer_id = peer_id
         self.retry = retry or RetryPolicy()
+        if reply_ttl <= 0:
+            raise ValueError("reply_ttl must be positive")
+        # the per-process nonce: a restarted endpoint gets a fresh one,
+        # so its msg_id counter restarting from 1 cannot collide with
+        # reply-cache entries recorded for the previous incarnation
+        self.incarnation = incarnation if incarnation is not None else uuid.uuid4().hex[:16]
+        self.reply_ttl = reply_ttl
+        self._clock = clock if clock is not None else time.monotonic
         self._rng = as_generator(seed)
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._handlers: Dict[Type, Callable[[int, Any], Awaitable[Optional[dict]]]] = {}
-        self._replies: "OrderedDict[tuple, Any]" = OrderedDict()
+        # (src, incarnation, msg_id) -> (expires_at | None, reply)
+        self._replies: "OrderedDict[tuple, Tuple[Optional[float], Any]]" = OrderedDict()
         self._reply_cache = reply_cache
         self.calls_sent = 0
         self.retries_performed = 0
@@ -122,6 +145,7 @@ class RpcEndpoint:
             "id": msg_id,
             "src": self.peer_id,
             "dst": dst,
+            "inc": self.incarnation,
             "body": message,
         }
         self.calls_sent += 1
@@ -158,6 +182,9 @@ class RpcEndpoint:
     async def _on_envelope(self, envelope: dict) -> None:
         kind = envelope.get("kind")
         if kind == "res":
+            res_inc = envelope.get("inc")
+            if res_inc is not None and res_inc != self.incarnation:
+                return  # a reply addressed to a previous life of this peer
             future = self._pending.get(envelope["id"])
             if future is not None and not future.done():
                 future.set_result(envelope.get("body"))
@@ -165,12 +192,13 @@ class RpcEndpoint:
         if kind != "req":
             return  # unknown envelope kinds are dropped, not fatal
         src, msg_id = envelope["src"], envelope["id"]
-        key = (src, msg_id)
-        cached = self._replies.get(key)
+        req_inc = envelope.get("inc")
+        key = (src, req_inc, msg_id)
+        cached = self._cached_reply(key)
         if cached is _INFLIGHT:
             return  # duplicate while the first delivery is still processing
         if cached is not None:
-            await self._respond(src, msg_id, cached)
+            await self._respond(src, msg_id, cached, req_inc)
             return
         self._cache_reply(key, _INFLIGHT)
         body = envelope.get("body")
@@ -183,16 +211,39 @@ class RpcEndpoint:
             except Exception as exc:  # a handler bug must not kill the daemon
                 reply = {"error": f"{type(exc).__name__}: {exc}"}
         self._cache_reply(key, reply)
-        await self._respond(src, msg_id, reply)
+        await self._respond(src, msg_id, reply, req_inc)
+
+    def _cached_reply(self, key: tuple) -> Any:
+        entry = self._replies.get(key)
+        if entry is None:
+            return None
+        expires, value = entry
+        if expires is not None and expires <= self._clock():
+            del self._replies[key]
+            return None
+        return value
 
     def _cache_reply(self, key: tuple, value: Any) -> None:
-        self._replies[key] = value
+        # in-flight markers never expire on their own: the handler's
+        # completion always overwrites them with the real (TTL'd) reply
+        expires = None if value is _INFLIGHT else self._clock() + self.reply_ttl
+        self._replies[key] = (expires, value)
         self._replies.move_to_end(key)
+        now = self._clock()
+        while self._replies:  # TTL eviction from the stale end
+            _, (head_exp, _head_val) = next(iter(self._replies.items()))
+            if head_exp is None or head_exp > now:
+                break
+            self._replies.popitem(last=False)
         while len(self._replies) > self._reply_cache:
             self._replies.popitem(last=False)
 
-    async def _respond(self, dst: int, msg_id: int, body: Any) -> None:
+    async def _respond(
+        self, dst: int, msg_id: int, body: Any, req_inc: Optional[str] = None
+    ) -> None:
         envelope = {"kind": "res", "id": msg_id, "src": self.peer_id, "dst": dst, "body": body}
+        if req_inc is not None:
+            envelope["inc"] = req_inc  # echo the requester's incarnation
         try:
             await self.transport.send(self.peer_id, dst, envelope)
         except TransportError:

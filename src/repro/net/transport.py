@@ -52,6 +52,11 @@ class _BaseTransport:
         self._handlers[peer_id] = handler
         self._killed.discard(peer_id)
 
+    def unregister(self, peer_id: int) -> None:
+        """Detach a peer's handler (endpoint restart); queue/port survive,
+        so a replacement endpoint can ``register`` under the same id."""
+        self._handlers.pop(peer_id, None)
+
     def kill(self, peer_id: int) -> None:
         """Simulate a peer crash: it neither receives nor sends frames."""
         self._killed.add(peer_id)

@@ -38,14 +38,24 @@ def _parity_config(transport="loopback", **overrides):
     return ClusterConfig(**base)
 
 
-def test_loopback_cluster_matches_synchronous_bcp():
+@pytest.mark.parametrize("distributed", [False, True], ids=["shared", "distributed"])
+def test_loopback_cluster_matches_synchronous_bcp(distributed):
+    """Both state models must reproduce the sync engine's exact choices.
+
+    The distributed variant additionally proves the selections were made
+    with *zero* reads of the shared registry / pool / DHT storage: the
+    cluster's SharedStateGuard seals them for its whole lifetime and
+    records (then raises on) any access.
+    """
+
     async def scenario():
-        cluster = LiveCluster(_parity_config())
+        cluster = LiveCluster(_parity_config(distributed=distributed))
         requests = cluster.scenario.requests.batch(5)
         sync_bcp = cluster.scenario.net.bcp
 
         # synchronous pass first: confirm=False releases every reservation,
-        # so the live pass starts from identical pool state.
+        # so the live pass starts from identical pool state.  (Runs before
+        # the cluster starts — the guard is sealed only while it runs.)
         expected = [sync_bcp.compose(r, confirm=False) for r in requests]
 
         live = []
@@ -54,11 +64,17 @@ def test_loopback_cluster_matches_synchronous_bcp():
                 live.append(await cluster.compose(r, confirm=False, timeout=60))
         leaked = cluster.soft_tokens()
         errors = cluster.errors()
-        return expected, live, leaked, errors
+        violations = (
+            list(cluster.shared_guard.violations)
+            if cluster.shared_guard is not None
+            else []
+        )
+        return expected, live, leaked, errors, violations
 
-    expected, live, leaked, errors = asyncio.run(scenario())
+    expected, live, leaked, errors, violations = asyncio.run(scenario())
     assert errors == []
     assert leaked == {}
+    assert violations == []
     assert any(e.success for e in expected), "fixture must compose something"
     for sync_r, live_r in zip(expected, live):
         rid = sync_r.request.request_id
