@@ -1,0 +1,272 @@
+"""Live-path throughput benchmark: sustained concurrent compose sessions.
+
+Boots a :class:`~repro.net.LiveCluster` and drives overlapping compose
+sessions through it, reporting compose/sec and p50/p99 session setup
+latency per transport.  This is the end-to-end counterpart of
+``bench_micro.py``: it times the *wire* path (codec, transport, RPC,
+daemon scheduling), not the composition algorithm.
+
+Run directly (CI runs ``--quick`` on both transports)::
+
+    PYTHONPATH=src python benchmarks/bench_live.py --quick
+    PYTHONPATH=src python benchmarks/bench_live.py --transport tcp --sessions 16
+    BENCH_NOTE="after wire fast path" PYTHONPATH=src \
+        python benchmarks/bench_live.py --record
+
+Each run starts with a small *sequential parity phase* — the same
+requests composed by the synchronous BCP and over the wire must select
+bit-identical service graphs — so a throughput number can never be
+bought with a correctness regression.  Exit codes: 0 ok, 1 crash or
+leaked state, 2 parity violation.
+
+``--record`` appends an entry to ``benchmarks/BENCH_live.json`` so the
+file accumulates a before/after trajectory across commits (tag entries
+with ``--note`` or ``BENCH_NOTE``).
+
+The script feature-detects optional :class:`ClusterConfig` knobs
+(``wire_version``, ``coalesce_writes``) so one harness can measure
+builds with and without the wire fast path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import datetime
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.bcp import BCPConfig, NextHopWeights  # noqa: E402
+from repro.net import ClusterConfig, LiveCluster  # noqa: E402
+
+BENCH_LIVE_JSON = pathlib.Path(__file__).parent / "BENCH_live.json"
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(ClusterConfig)}
+
+
+def make_cluster_config(**kwargs) -> ClusterConfig:
+    """Build a ClusterConfig, dropping knobs this build does not have."""
+    return ClusterConfig(**{k: v for k, v in kwargs.items() if k in _CONFIG_FIELDS})
+
+
+def quantile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(int(round(q * (len(ordered) - 1))), len(ordered) - 1)
+    return ordered[idx]
+
+
+@dataclasses.dataclass
+class BenchParams:
+    transport: str
+    peers: int = 10
+    sessions: int = 16
+    requests: int = 64
+    parity_requests: int = 4
+    seed: int = 11
+    distributed: bool = True
+    wire_version: Optional[int] = None
+    coalesce: Optional[bool] = None
+
+
+async def run_transport(params: BenchParams) -> Dict:
+    """One transport's full pass: parity phase, then the concurrent load."""
+    overrides = {}
+    if params.wire_version is not None:
+        overrides["wire_version"] = params.wire_version
+    if params.coalesce is not None:
+        overrides["coalesce_writes"] = params.coalesce
+    cfg = make_cluster_config(
+        n_peers=params.peers,
+        n_functions=6,
+        transport=params.transport,
+        seed=params.seed,
+        distributed=params.distributed,
+        # bandwidth=0 keeps next-hop scoring independent of mid-wave pool
+        # state, which is what makes the sequential parity phase exact
+        # (same reasoning as tests/test_net_parity.py).
+        bcp_config=BCPConfig(
+            budget=32,
+            nexthop_weights=NextHopWeights(delay=0.6, bandwidth=0.0, failure=0.4),
+        ),
+        capacity_scale=10.0,
+        **overrides,
+    )
+    cluster = LiveCluster(cfg)
+    requests = cluster.scenario.requests.batch(params.parity_requests + params.requests)
+    parity_reqs = requests[: params.parity_requests]
+    load_reqs = requests[params.parity_requests :]
+
+    # the sync reference pass runs before the cluster seals shared state
+    expected = [
+        cluster.scenario.net.bcp.compose(r, confirm=False) for r in parity_reqs
+    ]
+
+    parity_failures: List[str] = []
+    latencies: List[float] = []
+    failures = 0
+
+    async with cluster:
+        for sync_r, req in zip(expected, parity_reqs):
+            live_r = await cluster.compose(req, confirm=False, timeout=60)
+            rid = req.request_id
+            if live_r.success != sync_r.success:
+                parity_failures.append(f"request {rid}: success diverged")
+            elif sync_r.success and live_r.best.signature() != sync_r.best.signature():
+                parity_failures.append(f"request {rid}: selected graph diverged")
+            elif live_r.probes_sent != sync_r.probes_sent:
+                parity_failures.append(f"request {rid}: probe count diverged")
+
+        sem = asyncio.Semaphore(params.sessions)
+
+        async def one(req) -> bool:
+            async with sem:
+                t0 = time.perf_counter()
+                result = await cluster.compose(req, confirm=False, timeout=60)
+                latencies.append(time.perf_counter() - t0)
+                return result.success
+
+        t_load = time.perf_counter()
+        outcomes = await asyncio.gather(*(one(r) for r in load_reqs))
+        wall = time.perf_counter() - t_load
+        failures = sum(1 for ok in outcomes if not ok)
+        errors = cluster.errors()
+        leaked = cluster.soft_tokens()
+        stats = cluster.rpc_stats()
+
+    return {
+        "transport": params.transport,
+        "sessions": params.sessions,
+        "requests": params.requests,
+        "wall_s": round(wall, 4),
+        "compose_per_sec": round(len(load_reqs) / wall, 2) if wall > 0 else 0.0,
+        "p50_ms": round(quantile(latencies, 0.50) * 1e3, 2),
+        "p99_ms": round(quantile(latencies, 0.99) * 1e3, 2),
+        "compose_failures": failures,
+        "frames_sent": stats["frames_sent"],
+        "bytes_sent": stats["bytes_sent"],
+        "rpc_retries": stats["retries_performed"],
+        "daemon_errors": errors,
+        "leaked_soft_tokens": {str(k): len(v) for k, v in leaked.items()},
+        "parity_failures": parity_failures,
+    }
+
+
+def record_entry(note: str, quick: bool, results: Dict[str, Dict]) -> None:
+    history = []
+    if BENCH_LIVE_JSON.exists():
+        try:
+            history = json.loads(BENCH_LIVE_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "note": note,
+            "quick": quick,
+            "results": results,
+        }
+    )
+    BENCH_LIVE_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test scale: fewer peers/sessions/requests (what CI runs)",
+    )
+    parser.add_argument(
+        "--transport", choices=("loopback", "tcp", "both"), default="both"
+    )
+    parser.add_argument("--peers", type=int, default=None)
+    parser.add_argument("--sessions", type=int, default=None, help="concurrent sessions")
+    parser.add_argument("--requests", type=int, default=None, help="total compositions")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--codec", type=int, default=None, metavar="V",
+        help="wire version override (needs a build with the wire fast path)",
+    )
+    parser.add_argument(
+        "--coalesce", type=int, choices=(0, 1), default=None,
+        help="force write coalescing off/on (needs the wire fast path)",
+    )
+    parser.add_argument(
+        "--no-distributed", dest="distributed", action="store_false", default=True
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="append results to benchmarks/BENCH_live.json",
+    )
+    parser.add_argument(
+        "--note", default=os.environ.get("BENCH_NOTE", ""),
+        help="tag for the recorded entry (default: $BENCH_NOTE)",
+    )
+    args = parser.parse_args(argv)
+
+    peers = args.peers if args.peers is not None else (5 if args.quick else 10)
+    sessions = args.sessions if args.sessions is not None else (4 if args.quick else 16)
+    requests = args.requests if args.requests is not None else (8 if args.quick else 64)
+    parity_n = 2 if args.quick else 4
+    transports = ("loopback", "tcp") if args.transport == "both" else (args.transport,)
+
+    for knob, field in (("codec", "wire_version"), ("coalesce", "coalesce_writes")):
+        if getattr(args, knob) is not None and field not in _CONFIG_FIELDS:
+            print(f"warning: this build has no ClusterConfig.{field}; "
+                  f"--{knob} ignored", file=sys.stderr)
+
+    results: Dict[str, Dict] = {}
+    status = 0
+    for transport in transports:
+        params = BenchParams(
+            transport=transport,
+            peers=peers,
+            sessions=sessions,
+            requests=requests,
+            parity_requests=parity_n,
+            seed=args.seed,
+            distributed=args.distributed,
+            wire_version=args.codec,
+            coalesce=None if args.coalesce is None else bool(args.coalesce),
+        )
+        print(f"[{transport}] {peers} peers, {sessions} concurrent sessions, "
+              f"{requests} requests ...", flush=True)
+        res = asyncio.run(run_transport(params))
+        results[transport] = res
+        print(
+            f"[{transport}] {res['compose_per_sec']} compose/sec  "
+            f"p50 {res['p50_ms']} ms  p99 {res['p99_ms']} ms  "
+            f"({res['frames_sent']} frames, {res['bytes_sent']} bytes)"
+        )
+        if res["parity_failures"]:
+            print(f"[{transport}] PARITY VIOLATION: {res['parity_failures']}",
+                  file=sys.stderr)
+            status = max(status, 2)
+        if res["daemon_errors"] or res["leaked_soft_tokens"] or res["compose_failures"]:
+            print(
+                f"[{transport}] FAILURE: errors={res['daemon_errors']} "
+                f"leaked={res['leaked_soft_tokens']} "
+                f"failed_composes={res['compose_failures']}",
+                file=sys.stderr,
+            )
+            status = max(status, 1)
+
+    if args.record and results:
+        record_entry(args.note, args.quick, results)
+        print(f"recorded entry in {BENCH_LIVE_JSON.name}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,14 @@ Live subcommands run the same protocol over real asyncio transports
 
     python -m repro compose-live                   # loopback cluster
     python -m repro compose-live --transport tcp --peers 10 --requests 5
+    python -m repro compose-live --concurrency 8 --requests 16
     python -m repro serve --peers 5 --duration 30  # keep a cluster up
+
+Live subcommands negotiate the binary wire fast path by default;
+``--codec 1`` forces the JSON fallback and ``--no-coalesce`` disables
+per-connection write batching.  For them ``--profile`` prints a
+:class:`~repro.perf.PhaseTimer` boot/compose/shutdown breakdown instead
+of a cProfile report.
 
 Common options: ``--quick`` shrinks every experiment to smoke-test scale
 (seconds); ``--seed`` re-rolls the randomness; ``--plot`` adds Unicode
@@ -149,6 +156,26 @@ def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
         "--no-distributed keeps the shared in-process ground truth",
     )
     sub.add_argument(
+        "--codec",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="wire codec ceiling: 2 negotiates the binary fast path "
+        "(default), 1 forces the JSON fallback",
+    )
+    sub.add_argument(
+        "--coalesce",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="batch frames per connection and drain once per flush "
+        "window (default); --no-coalesce drains after every frame",
+    )
+    sub.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the boot/run/shutdown phases and print a breakdown",
+    )
+    sub.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -180,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_options(live)
     live.add_argument("--requests", type=int, default=3, help="compositions to run")
     live.add_argument("--budget", type=int, default=None, help="probing budget override")
+    live.add_argument(
+        "--concurrency", type=int, default=1,
+        help="overlapping compose sessions (1 = sequential, the default)",
+    )
     live.add_argument(
         "--kill", type=int, default=None, metavar="PEER",
         help="kill this peer after the first composition (exercises retry)",
@@ -232,58 +263,107 @@ def _build_cluster(args, trace: Optional[EventTrace]):
         port_base=args.port_base,
         seed=args.seed,
         distributed=args.distributed,
+        wire_version=args.codec,
+        coalesce_writes=args.coalesce,
     )
     return LiveCluster(cfg, trace=trace)
 
 
+def _print_phase_timer(timer) -> None:
+    total = sum(timer.totals.values()) or 1.0
+    print("  phases:")
+    for name, seconds in timer.totals.items():
+        print(f"    {name:<10} {seconds * 1000:8.1f} ms  ({seconds / total:5.1%})")
+
+
 async def _serve(args, trace: Optional[EventTrace]) -> int:
+    from .perf import PhaseTimer
+
+    timer = PhaseTimer()
     cluster = _build_cluster(args, trace)
-    async with cluster:
+    with timer.phase("boot"):
+        await cluster.start()
+    try:
         addrs = getattr(cluster.transport, "addresses", {})
         print(f"live cluster up: {args.peers} peers over {args.transport}", flush=True)
         for peer, addr in sorted(addrs.items()):
             print(f"  peer {peer}: {addr[0]}:{addr[1]}")
         try:
-            if args.duration is not None:
-                await asyncio.sleep(args.duration)
-            else:
-                while True:
-                    await asyncio.sleep(3600)
+            with timer.phase("serve"):
+                if args.duration is not None:
+                    await asyncio.sleep(args.duration)
+                else:
+                    while True:
+                        await asyncio.sleep(3600)
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
+    finally:
+        with timer.phase("shutdown"):
+            await cluster.stop()
     print("cluster stopped")
+    if args.profile:
+        _print_phase_timer(timer)
     return 0
 
 
+def _print_compose_result(request, result) -> None:
+    status = "ok" if result.success else f"FAILED ({result.failure_reason})"
+    print(
+        f"  request {request.request_id}: {status} — "
+        f"{result.probes_sent} probes, "
+        f"{result.candidates_examined} candidates, "
+        f"setup {result.setup_time * 1000:.0f} ms (virtual)"
+    )
+
+
 async def _compose_live(args, trace: Optional[EventTrace]) -> int:
+    from .perf import PhaseTimer
+
+    timer = PhaseTimer()
     cluster = _build_cluster(args, trace)
     failures = 0
-    async with cluster:
+    with timer.phase("boot"):
+        await cluster.start()
+    try:
         from .net.rpc import RpcError
 
         requests = cluster.scenario.requests.batch(args.requests)
-        for i, request in enumerate(requests):
+        if args.concurrency > 1:
             try:
-                result = await cluster.compose(request, budget=args.budget, timeout=60)
+                with timer.phase("compose"):
+                    results = await cluster.compose_concurrent(
+                        requests,
+                        concurrency=args.concurrency,
+                        budget=args.budget,
+                        timeout=60,
+                    )
             except RpcError as exc:
-                # e.g. the request's own source or dest peer was killed
-                print(f"  request {request.request_id}: FAILED ({exc})")
+                print(f"  batch FAILED ({exc})")
                 failures += 1
-                continue
-            status = "ok" if result.success else f"FAILED ({result.failure_reason})"
-            print(
-                f"  request {request.request_id}: {status} — "
-                f"{result.probes_sent} probes, "
-                f"{result.candidates_examined} candidates, "
-                f"setup {result.setup_time * 1000:.0f} ms (virtual)"
-            )
-            failures += 0 if result.success else 1
-            if args.kill is not None and i == 0:
-                if args.kill in (request.source_peer, request.dest_peer):
-                    print(f"  not killing endpoint peer {args.kill}")
-                else:
-                    cluster.kill_peer(args.kill)
-                    print(f"  killed peer {args.kill}")
+                results = []
+            for request, result in zip(requests, results):
+                _print_compose_result(request, result)
+                failures += 0 if result.success else 1
+        else:
+            for i, request in enumerate(requests):
+                try:
+                    with timer.phase("compose"):
+                        result = await cluster.compose(
+                            request, budget=args.budget, timeout=60
+                        )
+                except RpcError as exc:
+                    # e.g. the request's own source or dest peer was killed
+                    print(f"  request {request.request_id}: FAILED ({exc})")
+                    failures += 1
+                    continue
+                _print_compose_result(request, result)
+                failures += 0 if result.success else 1
+                if args.kill is not None and i == 0:
+                    if args.kill in (request.source_peer, request.dest_peer):
+                        print(f"  not killing endpoint peer {args.kill}")
+                    else:
+                        cluster.kill_peer(args.kill)
+                        print(f"  killed peer {args.kill}")
         stats = cluster.rpc_stats()
         print(
             f"  wire: {stats['frames_sent']} frames / {stats['bytes_sent']} bytes, "
@@ -292,6 +372,11 @@ async def _compose_live(args, trace: Optional[EventTrace]) -> int:
         if cluster.errors():
             print(f"  daemon errors: {cluster.errors()}")
             failures += 1
+    finally:
+        with timer.phase("shutdown"):
+            await cluster.stop()
+    if args.profile:
+        _print_phase_timer(timer)
     return 1 if failures else 0
 
 

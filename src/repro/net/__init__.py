@@ -31,7 +31,9 @@ from .accounting import LedgerTap
 from .codec import (
     CodecError,
     FrameReader,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    WIRE_VERSION_BINARY,
     decode_frame,
     encode_frame,
     from_wire,
@@ -47,7 +49,9 @@ from .transport import LoopbackTransport, TcpTransport, TransportError
 __all__ = [
     "CodecError",
     "FrameReader",
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION",
+    "WIRE_VERSION_BINARY",
     "decode_frame",
     "encode_frame",
     "from_wire",

@@ -45,6 +45,7 @@ from .accounting import LedgerTap
 from .directory import DirectorySlice
 from .guard import SharedStateGuard
 from .peer import PeerDaemon
+from .codec import WIRE_VERSION_BINARY
 from .rpc import RetryPolicy, RpcEndpoint
 from .transport import LoopbackTransport, TcpTransport
 
@@ -77,6 +78,12 @@ class ClusterConfig:
     # True: DHT-routed discovery + per-peer pools, shared state sealed.
     # False: the original shared-ground-truth arrangement (sim parity).
     distributed: bool = True
+    # wire fast path: preferred codec version (TCP negotiates down to
+    # what the remote end speaks; 1 forces the JSON fallback everywhere)
+    wire_version: int = WIRE_VERSION_BINARY
+    # batch frames per connection, one drain() per flush window
+    coalesce_writes: bool = True
+    flush_interval: float = 0.0  # tcp: extra dally per flush window (s)
 
 
 class LiveCluster:
@@ -113,10 +120,15 @@ class LiveCluster:
         self._t0 = 0.0
         if cfg.transport == "loopback":
             self.transport = LoopbackTransport(
-                latency=cfg.latency, loss=cfg.loss, seed=cfg.seed, tap=self.tap.on_frame
+                latency=cfg.latency, loss=cfg.loss, seed=cfg.seed, tap=self.tap.on_frame,
+                wire_version=cfg.wire_version, coalesce=cfg.coalesce_writes,
             )
         elif cfg.transport == "tcp":
-            self.transport = TcpTransport(port_base=cfg.port_base, tap=self.tap.on_frame)
+            self.transport = TcpTransport(
+                port_base=cfg.port_base, tap=self.tap.on_frame,
+                max_wire_version=cfg.wire_version, coalesce=cfg.coalesce_writes,
+                flush_interval=cfg.flush_interval,
+            )
         else:
             raise ValueError(f"unknown transport {cfg.transport!r} (loopback|tcp)")
         self.distributed = cfg.distributed
@@ -255,6 +267,44 @@ class LiveCluster:
             await self.compose(r, budget=budget, confirm=confirm, timeout=timeout)
             for r in requests
         ]
+
+    async def compose_concurrent(
+        self,
+        requests,
+        concurrency: int = 8,
+        budget: Optional[int] = None,
+        confirm: bool = True,
+        timeout: Optional[float] = None,
+    ) -> List[CompositionResult]:
+        """Pipeline a batch: up to ``concurrency`` sessions overlap.
+
+        Every piece of per-session daemon state — soft tokens, firm
+        tokens, collection windows, credit, probe counters, pending
+        results — is keyed by request id, so overlapping sessions stay
+        isolated; overlap changes wall-clock time and resource
+        contention (later admissions see earlier sessions' soft
+        reservations, as concurrent arrivals would in a real overlay),
+        never a session's accounting.  Results are returned in request
+        order.  A failed compose surfaces as its raised exception after
+        the whole batch settles, not as a torn gather.
+        """
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        gate = asyncio.Semaphore(concurrency)
+
+        async def one(request: CompositeRequest) -> CompositionResult:
+            async with gate:
+                return await self.compose(
+                    request, budget=budget, confirm=confirm, timeout=timeout
+                )
+
+        results = await asyncio.gather(
+            *(one(r) for r in requests), return_exceptions=True
+        )
+        for res in results:
+            if isinstance(res, BaseException):
+                raise res
+        return list(results)
 
     def kill_peer(self, peer_id: int) -> None:
         """Crash a peer: its daemon stops and its transport goes dark.

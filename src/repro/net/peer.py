@@ -190,6 +190,8 @@ class PeerDaemon:
         self._confirmed: Dict[int, Set[Tuple]] = {}  # rid -> firm tokens owned here
         self._timers: Dict[Tuple[int, Tuple], asyncio.TimerHandle] = {}
         self._seen = DedupCache()  # (rid, Probe.dedup_key()) application dedup
+        # rid -> {(function, origin): future} single-flight lookup dedup
+        self._lookup_flight: Dict[int, Dict[Tuple[str, int], asyncio.Future]] = {}
         self._collections: Dict[int, _Collection] = {}
         self._pending_results: Dict[int, asyncio.Future] = {}
         self.sessions: Dict[int, LiveSession] = {}
@@ -246,6 +248,7 @@ class PeerDaemon:
         for col in self._collections.values():
             if col.deadline_handle is not None:
                 col.deadline_handle.cancel()
+        self._lookup_flight.clear()
         for task in list(self._tasks):
             task.cancel()
 
@@ -342,12 +345,14 @@ class PeerDaemon:
         if not candidates:
             await self._return_credit(rid, request.dest_peer, credit, "no-next-hop")
             return
-        lookups = []
-        max_rtt = 0.0
-        for fn, _, _, _ in candidates:
-            comps, rtt = await self._lookup(fn, probe.current_peer)
-            lookups.append(comps)
-            max_rtt = max(max_rtt, rtt)
+        # all candidate lookups run concurrently: a real implementation
+        # would have all queries in flight at once, and the discovery
+        # phase is priced off the *slowest* of them either way
+        results = await asyncio.gather(
+            *(self._lookup(fn, probe.current_peer, rid) for fn, _, _, _ in candidates)
+        )
+        lookups = [comps for comps, _ in results]
+        max_rtt = max((rtt for _, rtt in results), default=0.0)
         if probe.branch == ():
             # the root expansion's slowest lookup is the discovery phase
             await self.endpoint.call(request.dest_peer, codec.DiscoveryReport(rid, max_rtt))
@@ -381,7 +386,9 @@ class PeerDaemon:
             )
         )
 
-    async def _lookup(self, function: str, origin_peer: int) -> Tuple[List[ServiceMetadata], float]:
+    async def _lookup(
+        self, function: str, origin_peer: int, rid: Optional[int] = None
+    ) -> Tuple[List[ServiceMetadata], float]:
         """Resolve a function's duplicate list: shared registry, or the
         DHT-routed directory owner in distributed mode.
 
@@ -392,6 +399,16 @@ class PeerDaemon:
         skipped in favour of its replica-ring successors; if every
         replica is unreachable the function simply has no visible
         duplicates this wave (the probe's credit returns as exhausted).
+
+        When ``rid`` is given, identical queries within that request's
+        wave are *single-flighted*: the first one performs the wire
+        exchange and every concurrent or later duplicate shares its
+        result (the wire analogue of the sync engine's per-wave lookup
+        cache — directory contents are fixed for the duration of a
+        composition).  Only the LookupRequest *frame* is deduplicated:
+        each logical lookup still routes the DHT itself, so ledger
+        charges and the route-priced RTT are identical with and without
+        the dedup.
         """
         if not self.distributed:
             res = self.bcp.registry.lookup(function, origin_peer)
@@ -399,9 +416,33 @@ class PeerDaemon:
         key = key_for(function)
         route = self.dht.route(key, origin_peer)
         rtt = 2.0 * route.latency
+        if rid is None:
+            return await self._fetch_components(key, function, origin_peer), rtt
+        flights = self._lookup_flight.setdefault(rid, {})
+        flight_key = (function, origin_peer)
+        fut = flights.get(flight_key)
+        if fut is not None:
+            return list(await asyncio.shield(fut)), rtt
+        fut = asyncio.get_running_loop().create_future()
+        flights[flight_key] = fut
+        try:
+            comps = await self._fetch_components(key, function, origin_peer)
+        except BaseException:
+            flights.pop(flight_key, None)
+            if not fut.done():
+                fut.set_result([])  # followers degrade to "no duplicates"
+            raise
+        if not fut.done():
+            fut.set_result(comps)
+        return list(comps), rtt
+
+    async def _fetch_components(
+        self, key, function: str, origin_peer: int
+    ) -> List[ServiceMetadata]:
+        """The wire half of a distributed lookup: ask the key's replicas."""
         for target in self.ring.replica_peers(key):
             if target == self.peer_id:
-                return self.directory.lookup(key), rtt
+                return self.directory.lookup(key)
             try:
                 reply = await self.endpoint.call(
                     target, codec.LookupRequest(function, origin_peer), retry=self.probe_retry
@@ -410,10 +451,9 @@ class PeerDaemon:
                 continue  # owner unreachable: fall back to the next replica
             if not isinstance(reply, dict) or reply.get("error"):
                 continue
-            comps = [c for c in reply.get("components", ()) if isinstance(c, ServiceMetadata)]
-            return comps, rtt
+            return [c for c in reply.get("components", ()) if isinstance(c, ServiceMetadata)]
         self._trace("lookup_failed", function=function, origin=origin_peer)
-        return [], rtt
+        return []
 
     async def _send_probe(
         self,
@@ -795,6 +835,10 @@ class PeerDaemon:
 
     def _apply_release(self, rid: int, keep: Set[Tuple]) -> None:
         keep = set(keep)
+        # the wave is over: drop its single-flight lookup futures (the
+        # destination broadcasts a release to every peer for every rid,
+        # so this is the per-request cleanup point on all daemons)
+        self._lookup_flight.pop(rid, None)
         firm = self._confirmed.get(rid)
         if firm:
             # a setup ack that failed after partially confirming (or a

@@ -140,11 +140,13 @@ class RpcEndpoint:
         """Send ``message`` to ``dst`` and await its reply payload."""
         policy = retry or self.retry
         msg_id = next(self._ids)
+        # note there is no "dst" field: the transport connection already
+        # identifies the receiver, so carrying it would be dead bytes on
+        # every frame (receivers never read it)
         envelope = {
             "kind": "req",
             "id": msg_id,
             "src": self.peer_id,
-            "dst": dst,
             "inc": self.incarnation,
             "body": message,
         }
@@ -241,7 +243,7 @@ class RpcEndpoint:
     async def _respond(
         self, dst: int, msg_id: int, body: Any, req_inc: Optional[str] = None
     ) -> None:
-        envelope = {"kind": "res", "id": msg_id, "src": self.peer_id, "dst": dst, "body": body}
+        envelope = {"kind": "res", "id": msg_id, "src": self.peer_id, "body": body}
         if req_inc is not None:
             envelope["inc"] = req_inc  # echo the requester's incarnation
         try:

@@ -12,6 +12,23 @@ bytes a TCP deployment puts on the network.
   book), one server per hosted peer, a per-``(src, dst)`` outbound
   connection pool, and write backpressure via ``drain()``.
 
+Two throughput levers sit here (and default on):
+
+* **Codec version** — senders prefer the v2 binary encoding.  On TCP the
+  version is negotiated per connection: the dialer's first frame is a v1
+  ``__hello__`` carrying its maximum supported version, the acceptor
+  answers with a v1 ``__hello_ack__``, and the connection speaks
+  ``min(max_client, max_server)``.  Handshake frames are connection
+  metadata, not protocol messages — they are invisible to handlers, taps
+  and frame counters.  Loopback has no connections, so its version is a
+  constructor knob.
+* **Write coalescing** — instead of awaiting ``drain()`` per frame, a
+  per-connection flusher task drains the accumulated write buffer once
+  per wakeup (plus an optional ``flush_interval`` dally), so a burst of
+  frames to one peer costs one syscall batch.  Coalescing batches
+  *frames*, never messages: each logical message is still one frame,
+  counted once by the tap, so ledgers are identical with it on or off.
+
 Failure model: sending to a *killed* peer is a silent drop (a packet
 into the void) on loopback and a connection error on TCP; both surface
 to callers as an RPC timeout, which is what drives the retry/backoff
@@ -21,16 +38,41 @@ path and, ultimately, credit-loss reporting to the destination.
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
+from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from ..sim.rng import as_generator
-from .codec import FrameReader, decode_frame, encode_frame
+from .codec import (
+    _HEADER,
+    _HEADER_SIZE,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    WIRE_VERSION_BINARY,
+    CodecError,
+    FrameReader,
+    decode_frame,
+    encode_frame,
+)
 
 __all__ = ["TransportError", "LoopbackTransport", "TcpTransport"]
 
 Handler = Callable[[dict], Awaitable[None]]
 # tap(direction, envelope, n_bytes) — see net.accounting.LedgerTap
 Tap = Callable[[str, dict, int], None]
+
+_HELLO = "__hello__"
+_HELLO_ACK = "__hello_ack__"
+_HANDSHAKE_TIMEOUT = 5.0
+# coalesced writers buffer at most this many bytes before the *sender*
+# blocks awaiting a drain — per-connection backpressure, like drain()
+_HIGH_WATER = 256 * 1024
+
+
+def _negotiate(local_max: int, remote_max: int) -> int:
+    """Pick the connection's wire version from two advertised maxima."""
+    version = min(local_max, remote_max)
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        version = WIRE_VERSION  # v1 JSON is the universal floor
+    return version
 
 
 class TransportError(RuntimeError):
@@ -87,6 +129,12 @@ class LoopbackTransport(_BaseTransport):
     callable ``(src, dst) -> float``); ``loss`` drops each frame
     independently with the given probability, using a seeded generator
     so tests are reproducible.
+
+    With ``coalesce`` on (the default), zero-latency frames to one
+    destination accumulate within an event-loop turn and are delivered
+    as one queue item — one dispatcher wakeup per burst instead of one
+    per frame.  Delayed frames keep their own timers: coalescing must
+    never reorder a link's delivery schedule.
     """
 
     def __init__(
@@ -95,14 +143,21 @@ class LoopbackTransport(_BaseTransport):
         loss: float = 0.0,
         seed: int = 0,
         tap: Optional[Tap] = None,
+        wire_version: int = WIRE_VERSION_BINARY,
+        coalesce: bool = True,
     ) -> None:
         super().__init__(tap=tap)
         if not 0.0 <= loss < 1.0:
             raise ValueError(f"loss must be in [0, 1), got {loss}")
+        if wire_version not in SUPPORTED_WIRE_VERSIONS:
+            raise ValueError(f"unsupported wire version {wire_version}")
         self._latency = latency if callable(latency) else (lambda s, d, l=latency: l)
         self._loss = loss
         self._rng = as_generator(seed)
+        self.wire_version = wire_version
+        self.coalesce = coalesce
         self._queues: Dict[int, asyncio.Queue] = {}
+        self._pending: Dict[int, List[bytes]] = {}
         self._dispatchers: List[asyncio.Task] = []
         self._started = False
 
@@ -125,6 +180,7 @@ class LoopbackTransport(_BaseTransport):
             except asyncio.CancelledError:
                 pass
         self._dispatchers.clear()
+        self._pending.clear()
         self._started = False
 
     async def send(self, src: int, dst: int, envelope: dict) -> None:
@@ -135,7 +191,7 @@ class LoopbackTransport(_BaseTransport):
         queue = self._queues.get(dst)
         if queue is None:
             raise TransportError(f"no such peer {dst}")
-        frame = encode_frame(envelope)
+        frame = encode_frame(envelope, self.wire_version)
         self._tap_send(envelope, len(frame))
         if dst in self._killed or (self._loss > 0 and self._rng.random() < self._loss):
             self.frames_dropped += 1
@@ -143,28 +199,53 @@ class LoopbackTransport(_BaseTransport):
         delay = self._latency(src, dst)
         if delay > 0:
             asyncio.get_running_loop().call_later(delay, queue.put_nowait, frame)
+        elif self.coalesce:
+            batch = self._pending.get(dst)
+            if batch is None:
+                batch = self._pending[dst] = []
+                asyncio.get_running_loop().call_soon(self._flush, dst)
+            batch.append(frame)
         else:
             queue.put_nowait(frame)
+
+    def _flush(self, dst: int) -> None:
+        batch = self._pending.pop(dst, None)
+        if batch:
+            self._queues[dst].put_nowait(batch)
 
     async def _dispatch(self, peer_id: int) -> None:
         queue = self._queues[peer_id]
         while True:
-            frame = await queue.get()
-            if peer_id in self._killed:
-                continue
-            handler = self._handlers.get(peer_id)
-            if handler is None:
-                continue
-            await handler(decode_frame(frame))
+            item: Union[bytes, List[bytes]] = await queue.get()
+            frames = item if isinstance(item, list) else (item,)
+            for frame in frames:
+                if peer_id in self._killed:
+                    break
+                handler = self._handlers.get(peer_id)
+                if handler is None:
+                    continue
+                await handler(decode_frame(frame))
 
 
 class _Conn:
-    """One pooled outbound stream with serialized writes."""
+    """One pooled outbound stream: negotiated version + write coalescing."""
+
+    __slots__ = (
+        "reader", "writer", "lock", "version", "buf", "wake", "drained",
+        "broken", "flusher",
+    )
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self.reader = reader
         self.writer = writer
         self.lock = asyncio.Lock()
+        self.version = WIRE_VERSION
+        self.buf = bytearray()
+        self.wake = asyncio.Event()
+        self.drained = asyncio.Event()
+        self.drained.set()
+        self.broken: Optional[BaseException] = None
+        self.flusher: Optional[asyncio.Task] = None
 
 
 class TcpTransport(_BaseTransport):
@@ -172,9 +253,19 @@ class TcpTransport(_BaseTransport):
 
     Ports are allocated by the OS unless ``port_base`` is given (then
     peer ``p`` listens on ``port_base + p``).  Outbound frames reuse a
-    pooled connection per ``(src, dst)`` pair; writes await ``drain()``
-    so a slow receiver backpressures its senders instead of ballooning
-    buffers.
+    pooled connection per ``(src, dst)`` pair whose wire version is
+    fixed by the dial-time hello handshake (``max_wire_version`` caps
+    what this end advertises, so ``max_wire_version=1`` forces the JSON
+    fallback against any peer).
+
+    With ``coalesce`` on (the default) each connection owns a flusher
+    task: ``send()`` appends the frame to the connection buffer and
+    returns, and the flusher writes whatever accumulated with a single
+    ``drain()`` per wakeup — ``flush_interval`` seconds of dallying (0
+    by default) trades latency for larger batches.  Senders block only
+    when a connection's buffer passes the high-water mark, preserving
+    per-connection backpressure; a broken connection fails *subsequent*
+    sends, which the RPC retry path already treats as message loss.
     """
 
     def __init__(
@@ -182,10 +273,20 @@ class TcpTransport(_BaseTransport):
         host: str = "127.0.0.1",
         port_base: Optional[int] = None,
         tap: Optional[Tap] = None,
+        max_wire_version: int = WIRE_VERSION_BINARY,
+        coalesce: bool = True,
+        flush_interval: float = 0.0,
     ) -> None:
         super().__init__(tap=tap)
+        if max_wire_version not in SUPPORTED_WIRE_VERSIONS:
+            raise ValueError(f"unsupported wire version {max_wire_version}")
+        if flush_interval < 0:
+            raise ValueError("flush_interval must be >= 0")
         self.host = host
         self.port_base = port_base
+        self.max_wire_version = max_wire_version
+        self.coalesce = coalesce
+        self.flush_interval = flush_interval
         self.addresses: Dict[int, Tuple[str, int]] = {}
         self._servers: Dict[int, asyncio.base_events.Server] = {}
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -213,7 +314,7 @@ class TcpTransport(_BaseTransport):
             await server.wait_closed()
         self._servers.clear()
         for conn in self._pool.values():
-            conn.writer.close()
+            self._teardown_conn(conn)
         self._pool.clear()
         for writers in self._accepted.values():
             for w in writers:
@@ -234,7 +335,12 @@ class TcpTransport(_BaseTransport):
         for w in self._accepted.pop(peer_id, []):
             w.close()
         for key in [k for k in self._pool if peer_id in k]:
-            self._pool.pop(key).writer.close()
+            self._teardown_conn(self._pool.pop(key))
+
+    def _teardown_conn(self, conn: _Conn) -> None:
+        if conn.flusher is not None:
+            conn.flusher.cancel()
+        conn.writer.close()
 
     async def send(self, src: int, dst: int, envelope: dict) -> None:
         if not self._started:
@@ -243,38 +349,103 @@ class TcpTransport(_BaseTransport):
             raise TransportError(f"peer {src} is down")
         if dst in self._killed:
             raise TransportError(f"peer {dst} is down")
-        frame = encode_frame(envelope)
         conn = await self._get_conn(src, dst)
-        try:
-            async with conn.lock:
-                conn.writer.write(frame)
-                await conn.writer.drain()
-        except (ConnectionError, OSError) as exc:
-            self._pool.pop((src, dst), None)
-            conn.writer.close()
-            raise TransportError(f"send {src}->{dst} failed: {exc}") from exc
+        frame = encode_frame(envelope, conn.version)
+        if self.coalesce:
+            await self._send_coalesced((src, dst), conn, frame)
+        else:
+            try:
+                async with conn.lock:
+                    conn.writer.write(frame)
+                    await conn.writer.drain()
+            except (ConnectionError, OSError) as exc:
+                self._drop_conn((src, dst), conn)
+                raise TransportError(f"send {src}->{dst} failed: {exc}") from exc
         self._tap_send(envelope, len(frame))
+
+    async def _send_coalesced(self, key: Tuple[int, int], conn: _Conn, frame: bytes) -> None:
+        if conn.broken is not None:
+            self._drop_conn(key, conn)
+            raise TransportError(f"send {key[0]}->{key[1]} failed: {conn.broken}")
+        conn.buf += frame
+        conn.wake.set()
+        if len(conn.buf) >= _HIGH_WATER:
+            conn.drained.clear()
+            await conn.drained.wait()
+            if conn.broken is not None:
+                self._drop_conn(key, conn)
+                raise TransportError(f"send {key[0]}->{key[1]} failed: {conn.broken}")
+
+    async def _flush_loop(self, key: Tuple[int, int], conn: _Conn) -> None:
+        try:
+            while True:
+                await conn.wake.wait()
+                conn.wake.clear()
+                if self.flush_interval > 0:
+                    await asyncio.sleep(self.flush_interval)
+                if conn.buf:
+                    data = bytes(conn.buf)
+                    conn.buf.clear()
+                    conn.writer.write(data)
+                    await conn.writer.drain()
+                conn.drained.set()
+        except asyncio.CancelledError:
+            pass  # transport teardown
+        except (ConnectionError, OSError) as exc:
+            conn.broken = exc
+            conn.drained.set()  # unblock high-water waiters; they re-check
+            self._drop_conn(key, conn)
+
+    def _drop_conn(self, key: Tuple[int, int], conn: _Conn) -> None:
+        if self._pool.get(key) is conn:
+            self._pool.pop(key, None)
+        if conn.flusher is not None and conn.flusher is not asyncio.current_task():
+            conn.flusher.cancel()
+        conn.writer.close()
 
     async def _get_conn(self, src: int, dst: int) -> _Conn:
         key = (src, dst)
         conn = self._pool.get(key)
-        if conn is not None and not conn.writer.is_closing():
+        if conn is not None and conn.broken is None and not conn.writer.is_closing():
             return conn
         lock = self._dial_locks.setdefault(key, asyncio.Lock())
         async with lock:
             conn = self._pool.get(key)
-            if conn is not None and not conn.writer.is_closing():
-                return conn
+            if conn is not None:
+                if conn.broken is None and not conn.writer.is_closing():
+                    return conn
+                self._drop_conn(key, conn)
             addr = self.addresses.get(dst)
             if addr is None:
                 raise TransportError(f"no address for peer {dst}")
             try:
                 reader, writer = await asyncio.open_connection(*addr)
-            except (ConnectionError, OSError) as exc:
+                conn = _Conn(reader, writer)
+                conn.version = await asyncio.wait_for(
+                    self._handshake(reader, writer), _HANDSHAKE_TIMEOUT
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError, CodecError) as exc:
                 raise TransportError(f"dial {src}->{dst} failed: {exc}") from exc
-            conn = _Conn(reader, writer)
+            if self.coalesce:
+                conn.flusher = asyncio.get_running_loop().create_task(
+                    self._flush_loop(key, conn), name=f"tcp-flush-{src}-{dst}"
+                )
             self._pool[key] = conn
             return conn
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> int:
+        """Dial-time version negotiation; always spoken in v1 JSON."""
+        writer.write(encode_frame({"kind": _HELLO, "max": self.max_wire_version}))
+        await writer.drain()
+        header = await reader.readexactly(_HEADER_SIZE)
+        _magic, _version, length = _HEADER.unpack(header)
+        payload = await reader.readexactly(length)
+        ack = decode_frame(header + payload)
+        if not isinstance(ack, dict) or ack.get("kind") != _HELLO_ACK:
+            raise CodecError(f"bad handshake ack: {ack!r}")
+        return _negotiate(self.max_wire_version, int(ack.get("max", WIRE_VERSION)))
 
     async def _serve(
         self, peer_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -290,6 +461,16 @@ class TcpTransport(_BaseTransport):
                 if not chunk:
                     break
                 for envelope in frames.feed(chunk):
+                    if isinstance(envelope, dict) and envelope.get("kind") == _HELLO:
+                        # connection metadata: answer on the accepted
+                        # socket, invisible to handlers/taps/counters
+                        writer.write(
+                            encode_frame(
+                                {"kind": _HELLO_ACK, "max": self.max_wire_version}
+                            )
+                        )
+                        await writer.drain()
+                        continue
                     if peer_id in self._killed:
                         return
                     handler = self._handlers.get(peer_id)

@@ -88,6 +88,40 @@ def test_failed_composition_reports_reason_and_charges_failure():
     assert cluster.soft_tokens() == {}
 
 
+def test_compose_concurrent_pipelines_isolated_sessions():
+    async def scenario():
+        cluster = LiveCluster(_small_config(capacity_scale=10.0))
+        async with cluster:
+            requests = cluster.scenario.requests.batch(8)
+            results = await cluster.compose_concurrent(
+                requests, concurrency=4, confirm=False, timeout=60
+            )
+        return cluster, requests, results
+
+    cluster, requests, results = asyncio.run(scenario())
+    # per-session isolation: no daemon errors, no leaked soft state, and
+    # results come back in request order despite overlapped execution
+    assert cluster.errors() == []
+    assert cluster.soft_tokens() == {}
+    assert len(results) == len(requests)
+    assert [r.request.request_id for r in results] == [
+        r.request_id for r in requests
+    ]
+    assert any(r.success for r in results)
+
+
+def test_compose_concurrent_rejects_bad_concurrency():
+    async def scenario():
+        cluster = LiveCluster(_small_config())
+        async with cluster:
+            with pytest.raises(ValueError, match="concurrency"):
+                await cluster.compose_concurrent(
+                    cluster.scenario.requests.batch(1), concurrency=0
+                )
+
+    asyncio.run(scenario())
+
+
 def test_unknown_transport_rejected():
     with pytest.raises(ValueError, match="transport"):
         LiveCluster(ClusterConfig(transport="carrier-pigeon"))

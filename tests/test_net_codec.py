@@ -12,7 +12,9 @@ from repro.core.resources import ResourceVector
 from repro.net import codec
 from repro.net.codec import (
     MAX_FRAME,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
+    WIRE_VERSION_BINARY,
     CodecError,
     FrameReader,
     decode_frame,
@@ -47,63 +49,82 @@ def service_graph(scenario):
     pytest.fail("no composition succeeded while building the fixture")
 
 
-def roundtrip(obj):
-    return decode_frame(encode_frame(obj))
+def roundtrip(obj, version=WIRE_VERSION):
+    return decode_frame(encode_frame(obj, version))
+
+
+@pytest.fixture(params=SUPPORTED_WIRE_VERSIONS, ids=lambda v: f"v{v}")
+def version(request):
+    return request.param
 
 
 class TestRoundTrips:
-    """from_wire(to_wire(x)) == x for every registered type."""
+    """decode(encode(x)) == x for every registered type, both versions."""
 
-    def test_primitives_and_containers(self):
+    def test_primitives_and_containers(self, version):
         doc = {"a": [1, 2.5, "x", None, True], "b": {"nested": [[]]}}
-        assert roundtrip(doc) == doc
+        assert roundtrip(doc, version) == doc
 
-    def test_qos_vector(self):
+    def test_qos_vector(self, version):
         v = QoSVector({"delay": 0.25, "loss": 0.01})
-        assert roundtrip(v) == v
+        assert roundtrip(v, version) == v
 
-    def test_qos_requirement(self):
+    def test_qos_requirement(self, version):
         r = QoSRequirement({"delay": 1.5, "loss": 0.05})
-        assert roundtrip(r) == r
+        assert roundtrip(r, version) == r
 
-    def test_resource_vector(self):
+    def test_resource_vector(self, version):
         r = ResourceVector({"cpu": 4.0, "memory": 128.0})
-        assert roundtrip(r) == r
+        assert roundtrip(r, version) == r
 
-    def test_quality_spec(self):
+    def test_quality_spec(self, version):
         q = QualitySpec(frozenset({"mp3", "wav"}))
-        assert roundtrip(q) == q
+        assert roundtrip(q, version) == q
 
-    def test_fraction_exact(self):
+    def test_fraction_exact(self, version):
         f = Fraction(7, 24)
-        out = roundtrip(f)
+        out = roundtrip(f, version)
         assert out == f and isinstance(out, Fraction)
 
-    def test_service_metadata(self, scenario):
+    def test_fraction_arithmetic_after_decode(self, version):
+        # trusted v2 reconstruction must yield a fully functional Fraction
+        f = roundtrip(Fraction(7, 24), version)
+        assert f + Fraction(17, 24) == 1
+        assert f / 7 == Fraction(1, 24)
+
+    def test_fraction_bigint(self, version):
+        # deep credit splits overflow int64; v2 has a bigint escape hatch
+        f = Fraction(2**80 + 1, 3**60)
+        assert roundtrip(f, version) == f
+
+    def test_service_metadata(self, scenario, version):
         fn = scenario.net.registry.functions()[0]
         meta = scenario.net.registry.lookup(fn, origin_peer=0).components[0]
-        assert roundtrip(meta) == meta
+        assert roundtrip(meta, version) == meta
 
-    def test_component_spec(self, scenario):
+    def test_component_spec(self, scenario, version):
         spec = scenario.population[0]
-        assert roundtrip(spec) == spec
+        assert roundtrip(spec, version) == spec
 
-    def test_function_graph(self, request_obj):
+    def test_function_graph(self, request_obj, version):
         g = request_obj.function_graph
-        assert roundtrip(g) == g
+        out = roundtrip(g, version)
+        assert out == g
+        # trusted ctor: the lazy adjacency maps must still materialize
+        assert out.sources() == g.sources() and out.sinks() == g.sinks()
 
-    def test_composite_request(self, request_obj):
-        assert roundtrip(request_obj) == request_obj
+    def test_composite_request(self, request_obj, version):
+        assert roundtrip(request_obj, version) == request_obj
 
-    def test_service_graph(self, service_graph):
-        assert roundtrip(service_graph) == service_graph
-        assert roundtrip(service_graph).signature() == service_graph.signature()
+    def test_service_graph(self, service_graph, version):
+        assert roundtrip(service_graph, version) == service_graph
+        assert roundtrip(service_graph, version).signature() == service_graph.signature()
 
-    def test_root_probe(self, request_obj):
+    def test_root_probe(self, request_obj, version):
         p = Probe.initial(request_obj, budget=16)
-        assert roundtrip(p) == p
+        assert roundtrip(p, version) == p
 
-    def test_mid_path_probe(self, scenario, request_obj, service_graph):
+    def test_mid_path_probe(self, scenario, request_obj, service_graph, version):
         root = Probe.initial(request_obj, budget=16)
         fn = service_graph.pattern.functions[0]
         meta = service_graph.assignment[fn]
@@ -116,10 +137,10 @@ class TestRoundTrips:
             budget=4,
             elapsed=0.123,
         )
-        assert roundtrip(child) == child
-        assert roundtrip(child).dedup_key() == child.dedup_key()
+        assert roundtrip(child, version) == child
+        assert roundtrip(child, version).dedup_key() == child.dedup_key()
 
-    def test_every_message_type(self, scenario, request_obj, service_graph):
+    def test_every_message_type(self, scenario, request_obj, service_graph, version):
         probe = Probe.initial(request_obj, budget=8)
         fn = service_graph.pattern.functions[0]
         meta = service_graph.assignment[fn]
@@ -143,13 +164,79 @@ class TestRoundTrips:
             codec.LookupRequest("F001", 4),
         ]
         for msg in messages:
-            assert roundtrip(msg) == msg, type(msg).__name__
+            assert roundtrip(msg, version) == msg, type(msg).__name__
+
+    def test_cross_version_equality(self, request_obj):
+        # the two encodings must reconstruct indistinguishable objects
+        probe = Probe.initial(request_obj, budget=8)
+        msg = codec.FinalProbe(1, probe, Fraction(1, 2))
+        assert roundtrip(msg, WIRE_VERSION) == roundtrip(msg, WIRE_VERSION_BINARY)
+
+
+class TestBinaryFormat:
+    """v2-specific properties: back-references, size, damage rejection."""
+
+    @staticmethod
+    def _frame(payload: bytes) -> bytes:
+        return struct.pack(">2sBI", b"SN", WIRE_VERSION_BINARY, len(payload)) + payload
+
+    def test_backrefs_shrink_repeated_objects(self, request_obj):
+        once = len(encode_frame([request_obj], WIRE_VERSION_BINARY))
+        twice = len(encode_frame([request_obj, request_obj], WIRE_VERSION_BINARY))
+        assert twice - once < 8  # second occurrence is a table reference
+
+    def test_backrefs_preserve_identity(self, request_obj):
+        out = decode_frame(encode_frame([request_obj, request_obj], WIRE_VERSION_BINARY))
+        assert out[0] == request_obj and out[0] is out[1]
+
+    def test_binary_smaller_than_json(self, request_obj):
+        probe = Probe.initial(request_obj, budget=8)
+        msg = codec.FinalProbe(1, probe, Fraction(1, 2))
+        v1 = encode_frame(msg, WIRE_VERSION)
+        v2 = encode_frame(msg, WIRE_VERSION_BINARY)
+        assert len(v2) < len(v1)
+
+    def test_truncated_binary_payload(self):
+        frame = encode_frame({"key": [1, 2, 3]}, WIRE_VERSION_BINARY)
+        payload = frame[7:-1]  # drop the last payload byte, fix the header
+        with pytest.raises(CodecError, match="truncated binary payload"):
+            decode_frame(self._frame(payload))
+
+    def test_trailing_bytes_inside_payload(self):
+        payload = encode_frame({"x": 1}, WIRE_VERSION_BINARY)[7:] + b"\x00"
+        with pytest.raises(CodecError, match="trailing bytes inside"):
+            decode_frame(self._frame(payload))
+
+    def test_unknown_value_tag(self):
+        with pytest.raises(CodecError, match="unknown binary value tag"):
+            decode_frame(self._frame(b"\xff"))
+
+    def test_unknown_type_id(self):
+        with pytest.raises(CodecError, match="unknown binary type id"):
+            decode_frame(self._frame(b"\x0f\xfe"))
+
+    def test_dangling_string_backref(self):
+        # low indices are the protocol-static table; 0xFFFF is unassigned
+        with pytest.raises(CodecError, match="dangling string back-reference"):
+            decode_frame(self._frame(b"\x0a\xff\xff"))
+
+    def test_dangling_object_backref(self):
+        with pytest.raises(CodecError, match="dangling object back-reference"):
+            decode_frame(self._frame(b"\x10\x00\x00"))
+
+    def test_non_string_key_refused_at_encode(self):
+        with pytest.raises(CodecError, match="non-string"):
+            encode_frame({1: "x"}, WIRE_VERSION_BINARY)
+
+    def test_unencodable_type_refused(self):
+        with pytest.raises(CodecError, match="not wire-encodable"):
+            encode_frame({"x": object()}, WIRE_VERSION_BINARY)
 
 
 class TestRejection:
     def test_unknown_version(self):
         frame = bytearray(encode_frame({"x": 1}))
-        frame[2] = WIRE_VERSION + 1
+        frame[2] = max(SUPPORTED_WIRE_VERSIONS) + 1
         with pytest.raises(CodecError, match="version"):
             decode_frame(bytes(frame))
 
@@ -222,6 +309,31 @@ class TestFrameReader:
         for i in range(len(frames)):
             out.extend(reader.feed(frames[i : i + 1]))
         assert out == [{"n": 1}, {"n": 2}]
+        assert reader.pending_bytes == 0
+
+    def test_mixed_versions_on_one_stream(self):
+        # per-frame auto-detection: a stream may interleave v1 and v2
+        frames = (
+            encode_frame({"n": 0}, WIRE_VERSION)
+            + encode_frame({"n": 1}, WIRE_VERSION_BINARY)
+            + encode_frame({"n": 2}, WIRE_VERSION)
+            + encode_frame({"n": 3}, WIRE_VERSION_BINARY)
+        )
+        reader = FrameReader()
+        mid = len(frames) // 2 + 1
+        out = reader.feed(frames[:mid]) + reader.feed(frames[mid:])
+        assert [m["n"] for m in out] == [0, 1, 2, 3]
+        assert reader.pending_bytes == 0
+
+    def test_burst_of_many_frames(self):
+        # the offset-cursor path: one big burst must come back intact
+        burst = b"".join(
+            encode_frame({"n": i, "pad": "x" * 64}, WIRE_VERSION_BINARY)
+            for i in range(2000)
+        )
+        reader = FrameReader()
+        out = reader.feed(burst)
+        assert [m["n"] for m in out] == list(range(2000))
         assert reader.pending_bytes == 0
 
     def test_messages_split_across_chunks(self):

@@ -6,7 +6,13 @@ the same service graph with the same probe accounting.  Credit-based
 termination makes the live finalize quiescent (no in-flight probes),
 which is what makes the comparison exact rather than statistical.
 
-A second test drives a real TCP cluster through a peer kill and shows a
+The parity matrix also spans the wire fast path: codec version (v1 JSON
+vs v2 binary) and write coalescing are pure transport concerns, so every
+combination must reproduce the same selections — and charge the same
+*logical* message counts to the ledger (batching changes frames, never
+logical messages).
+
+A further test drives a real TCP cluster through a peer kill and shows a
 composition still completing end-to-end with the retry/backoff path
 exercised.
 """
@@ -38,8 +44,14 @@ def _parity_config(transport="loopback", **overrides):
     return ClusterConfig(**base)
 
 
+# every (codec, coalescing) combination the transports can negotiate
+_WIRE_AXES = [(1, False), (1, True), (2, False), (2, True)]
+_WIRE_IDS = ["v1-drain", "v1-coalesced", "v2-drain", "v2-coalesced"]
+
+
+@pytest.mark.parametrize("wire_version,coalesce", _WIRE_AXES, ids=_WIRE_IDS)
 @pytest.mark.parametrize("distributed", [False, True], ids=["shared", "distributed"])
-def test_loopback_cluster_matches_synchronous_bcp(distributed):
+def test_loopback_cluster_matches_synchronous_bcp(distributed, wire_version, coalesce):
     """Both state models must reproduce the sync engine's exact choices.
 
     The distributed variant additionally proves the selections were made
@@ -49,7 +61,13 @@ def test_loopback_cluster_matches_synchronous_bcp(distributed):
     """
 
     async def scenario():
-        cluster = LiveCluster(_parity_config(distributed=distributed))
+        cluster = LiveCluster(
+            _parity_config(
+                distributed=distributed,
+                wire_version=wire_version,
+                coalesce_writes=coalesce,
+            )
+        )
         requests = cluster.scenario.requests.batch(5)
         sync_bcp = cluster.scenario.net.bcp
 
@@ -83,6 +101,55 @@ def test_loopback_cluster_matches_synchronous_bcp(distributed):
             assert live_r.best.signature() == sync_r.best.signature(), rid
         assert live_r.probes_sent == sync_r.probes_sent, rid
         assert live_r.candidates_examined == sync_r.candidates_examined, rid
+
+
+def test_wire_options_change_frames_not_logical_messages():
+    """Across the whole (codec x coalescing) matrix the live pass must
+    make identical selections and charge identical logical message
+    counts — the fast path may change how bytes travel, never what the
+    protocol says."""
+
+    # one shared scenario for every combo: component/request ids come
+    # from process-global counters, so only same-scenario runs are
+    # comparable.  confirm=False releases every reservation, leaving the
+    # pools in their initial state for the next combo's pass.
+    shared = {}
+
+    def one_combo(wire_version, coalesce):
+        async def scenario():
+            cluster = LiveCluster(
+                _parity_config(
+                    distributed=True,
+                    wire_version=wire_version,
+                    coalesce_writes=coalesce,
+                ),
+                scenario=shared.get("scenario"),
+            )
+            if "scenario" not in shared:
+                shared["scenario"] = cluster.scenario
+                shared["requests"] = cluster.scenario.requests.batch(4)
+            async with cluster:
+                snap = cluster.ledger.snapshot()
+                results = []
+                for r in shared["requests"]:
+                    results.append(await cluster.compose(r, confirm=False, timeout=60))
+                delta = cluster.ledger.delta_since(snap)
+            assert cluster.errors() == []
+            assert cluster.soft_tokens() == {}
+            sigs = [r.best.signature() if r.success else None for r in results]
+            # counts only: encoded byte sizes legitimately differ by codec
+            counts = {cat: dc for cat, (dc, _db) in delta.items() if dc}
+            return sigs, counts
+
+        return asyncio.run(scenario())
+
+    baseline_sigs, baseline_counts = one_combo(*_WIRE_AXES[0])
+    assert any(s is not None for s in baseline_sigs), "fixture must compose something"
+    assert baseline_counts.get("bcp_probe", 0) > 0
+    for wire_version, coalesce in _WIRE_AXES[1:]:
+        sigs, counts = one_combo(wire_version, coalesce)
+        assert sigs == baseline_sigs, (wire_version, coalesce)
+        assert counts == baseline_counts, (wire_version, coalesce)
 
 
 def test_tcp_cluster_survives_peer_kill():

@@ -4,8 +4,9 @@ import asyncio
 
 import pytest
 
+from repro.net.codec import WIRE_VERSION, WIRE_VERSION_BINARY
 from repro.net.rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcTimeout
-from repro.net.transport import LoopbackTransport, TcpTransport, TransportError
+from repro.net.transport import LoopbackTransport, TcpTransport, TransportError, _negotiate
 
 
 def run(coro):
@@ -143,6 +144,101 @@ class TestTcp:
             await t.close()
 
         run(scenario())
+
+
+class TestNegotiation:
+    def test_negotiate_picks_lowest_common_version(self):
+        assert _negotiate(2, 2) == WIRE_VERSION_BINARY
+        assert _negotiate(2, 1) == WIRE_VERSION
+        assert _negotiate(1, 2) == WIRE_VERSION
+        # a hypothetical future version neither side implements here
+        # degrades to the universal JSON floor, never to garbage
+        assert _negotiate(9, 9) == WIRE_VERSION
+
+    @staticmethod
+    async def _version_scenario(**kwargs):
+        t = TcpTransport(**kwargs)
+        received = []
+        t.register(0, collector([]))
+        t.register(1, collector(received))
+        await t.start()
+        await t.send(0, 1, {"kind": "req", "n": 1})
+        await asyncio.sleep(0.05)
+        version = t._pool[(0, 1)].version
+        frames = t.frames_sent
+        await t.close()
+        return version, frames, received
+
+    def test_tcp_negotiates_binary_by_default(self):
+        version, frames, received = run(self._version_scenario())
+        assert version == WIRE_VERSION_BINARY
+        assert received == [{"kind": "req", "n": 1}]
+        # the hello/ack handshake frames are protocol plumbing: they are
+        # invisible to handlers and never counted as sent frames
+        assert frames == 1
+
+    def test_tcp_version_ceiling_forces_json_fallback(self):
+        version, frames, received = run(
+            self._version_scenario(max_wire_version=WIRE_VERSION)
+        )
+        assert version == WIRE_VERSION
+        assert received == [{"kind": "req", "n": 1}]
+        assert frames == 1
+
+    def test_tcp_rejects_unknown_version_ceiling(self):
+        with pytest.raises(ValueError):
+            TcpTransport(max_wire_version=99)
+
+    def test_loopback_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            LoopbackTransport(wire_version=99)
+
+
+class TestCoalescing:
+    @staticmethod
+    async def _burst_scenario(t):
+        received = []
+        t.register(0, collector([]))
+        t.register(1, collector(received))
+        await t.start()
+        await asyncio.gather(*(t.send(0, 1, {"n": i}) for i in range(50)))
+        await asyncio.sleep(0.1)
+        await t.close()
+        return received
+
+    @pytest.mark.parametrize("coalesce", [False, True], ids=["drain-per-frame", "coalesced"])
+    def test_loopback_burst_preserves_order(self, coalesce):
+        out = run(self._burst_scenario(LoopbackTransport(coalesce=coalesce)))
+        assert [e["n"] for e in out] == list(range(50))
+
+    @pytest.mark.parametrize("coalesce", [False, True], ids=["drain-per-frame", "coalesced"])
+    def test_tcp_burst_preserves_order(self, coalesce):
+        out = run(self._burst_scenario(TcpTransport(coalesce=coalesce)))
+        assert [e["n"] for e in out] == list(range(50))
+
+    def test_tcp_flush_interval_still_delivers(self):
+        out = run(self._burst_scenario(TcpTransport(flush_interval=0.005)))
+        assert [e["n"] for e in out] == list(range(50))
+
+    def test_loopback_coalescing_batches_queue_items(self):
+        async def scenario():
+            t = LoopbackTransport(coalesce=True)
+            received = []
+            t.register(0, collector([]))
+            t.register(1, collector(received))
+            await t.start()
+            # all sends land within one event-loop turn: the dispatcher
+            # must see them as a single batched queue item
+            for i in range(10):
+                await t.send(0, 1, {"n": i})
+            depth = t._queues[1].qsize()
+            await asyncio.sleep(0.05)
+            await t.close()
+            return depth, received
+
+        depth, received = run(scenario())
+        assert depth <= 1
+        assert [e["n"] for e in received] == list(range(10))
 
 
 class TestRpc:
