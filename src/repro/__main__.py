@@ -171,6 +171,14 @@ def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
         "window (default); --no-coalesce drains after every frame",
     )
     sub.add_argument(
+        "--dir-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="directory acceleration tier: peer-local lookup caches, "
+        "Bloom negative caching, hot-key replica fan-out (default); "
+        "--no-dir-cache routes every lookup (distributed mode only)",
+    )
+    sub.add_argument(
         "--profile",
         action="store_true",
         help="time the boot/run/shutdown phases and print a breakdown",
@@ -254,7 +262,7 @@ def _run_one(
 
 
 def _build_cluster(args, trace: Optional[EventTrace]):
-    from .net import ClusterConfig, LiveCluster
+    from .net import ClusterConfig, DirectoryTierConfig, LiveCluster
 
     cfg = ClusterConfig(
         n_peers=args.peers,
@@ -265,6 +273,7 @@ def _build_cluster(args, trace: Optional[EventTrace]):
         distributed=args.distributed,
         wire_version=args.codec,
         coalesce_writes=args.coalesce,
+        directory_tier=DirectoryTierConfig(enabled=args.dir_cache),
     )
     return LiveCluster(cfg, trace=trace)
 
@@ -274,6 +283,22 @@ def _print_phase_timer(timer) -> None:
     print("  phases:")
     for name, seconds in timer.totals.items():
         print(f"    {name:<10} {seconds * 1000:8.1f} ms  ({seconds / total:5.1%})")
+
+
+def _print_directory_stats(cluster) -> None:
+    if not cluster.distributed:
+        return
+    stats = cluster.directory_stats()
+    print("  directory:")
+    print(
+        f"    slice serves {stats['directory_serves']}, "
+        f"rows {stats['directory_rows']}"
+    )
+    print(
+        f"    cache hits {stats['cache_hits']} / misses {stats['cache_misses']} "
+        f"(hit rate {stats['hit_rate']:.1%}), "
+        f"neg hits {stats['neg_hits']}, replica serves {stats['replica_serves']}"
+    )
 
 
 async def _serve(args, trace: Optional[EventTrace]) -> int:
@@ -303,6 +328,7 @@ async def _serve(args, trace: Optional[EventTrace]) -> int:
     print("cluster stopped")
     if args.profile:
         _print_phase_timer(timer)
+        _print_directory_stats(cluster)
     return 0
 
 
@@ -377,6 +403,7 @@ async def _compose_live(args, trace: Optional[EventTrace]) -> int:
             await cluster.stop()
     if args.profile:
         _print_phase_timer(timer)
+        _print_directory_stats(cluster)
     return 1 if failures else 0
 
 

@@ -20,6 +20,9 @@ Modules
 ``peer``       the peer daemon (probe processing, soft-state timers,
                session ack handling, maintenance pings)
 ``directory``  the per-peer slice of the distributed service directory
+               plus the acceleration-tier bookkeeping (versions,
+               popularity, replica rows, Bloom summaries)
+``bloom``      the compact set summary piggybacked on lookup replies
 ``guard``      ``SharedStateGuard`` — seals shared registry/pool/DHT
                storage to prove distributed mode never reads them
 ``accounting`` ``MessageLedger`` adapter mapping wire frames onto the
@@ -39,8 +42,9 @@ from .codec import (
     from_wire,
     to_wire,
 )
+from .bloom import BloomFilter
 from .cluster import ClusterConfig, LiveCluster
-from .directory import DirectorySlice
+from .directory import DirectorySlice, DirectoryTierConfig
 from .guard import SharedStateGuard, SharedStateViolation
 from .peer import PeerDaemon
 from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError, RpcTimeout
@@ -66,7 +70,9 @@ __all__ = [
     "DedupCache",
     "LedgerTap",
     "PeerDaemon",
+    "BloomFilter",
     "DirectorySlice",
+    "DirectoryTierConfig",
     "SharedStateGuard",
     "SharedStateViolation",
     "ClusterConfig",

@@ -17,10 +17,16 @@ cluster report the same books:
   true encoded sizes, plus every response frame as ``net_ack``.  These
   keys are live-only (the simulator has no real frames) and never
   pollute the ``BCP_CATEGORIES`` totals.  ``net_directory`` covers the
-  distributed-mode discovery plane (RegisterComponent / LookupRequest
-  to the DHT owner of a function key); the DHT *routing* cost of
-  finding that owner still lands in ``dht_route``, charged per hop by
+  distributed-mode discovery plane (RegisterComponent / RegisterBatch /
+  LookupRequest / ReplicatePush / ReplicaInvalidate to the DHT owner of
+  a function key); the DHT *routing* cost of finding that owner still
+  lands in ``dht_route``, charged per hop by
   :meth:`~repro.dht.pastry.PastryNetwork.route` exactly as in sim mode.
+* **directory-tier counters** (``dir_cache_hit`` / ``dir_cache_miss`` /
+  ``dir_neg_hit`` / ``dir_replica_serve`` / ``dir_replica_push``) audit
+  the acceleration tier: every lookup the cache absorbs is a hit *and*
+  a ``dht_route`` charge that never happened — the saved work is
+  visible as the gap between the two books.
 """
 
 from __future__ import annotations
@@ -49,7 +55,10 @@ WIRE_CATEGORY = {
     codec.DiscoveryReport: "net_control",
     codec.ComposeResult: "net_control",
     codec.RegisterComponent: "net_directory",
+    codec.RegisterBatch: "net_directory",
     codec.LookupRequest: "net_directory",
+    codec.ReplicatePush: "net_directory",
+    codec.ReplicaInvalidate: "net_directory",
 }
 
 
@@ -88,6 +97,42 @@ class LedgerTap:
 
     def failure(self) -> None:
         self.ledger.record("bcp_failure", FAILURE_SIZE)
+
+    # ------------------------------------------------------------------
+    # directory-tier charges (live-only logical counters, zero bytes)
+    # ------------------------------------------------------------------
+    # Cache hits deliberately do NOT replay the dht_route charges the
+    # uncached lookup would have made — unlike the sync engine's
+    # per-wave WaveLookupCache, this tier's whole point is that the
+    # routing work is really not done, and the ledger must show it.
+    # The dir_* keys keep the saved/spent split auditable.
+    def dir_cache_hit(self) -> None:
+        """A lookup served from the peer-local positive cache."""
+        self.ledger.record("dir_cache_hit")
+
+    def dir_cache_miss(self) -> None:
+        """A lookup that had to route the DHT and cross the wire."""
+        self.ledger.record("dir_cache_miss")
+
+    def dir_neg_hit(self) -> None:
+        """An absent-function lookup short-circuited by a Bloom summary."""
+        self.ledger.record("dir_neg_hit")
+
+    def dir_replica_serve(self) -> None:
+        """A lookup served from locally held pushed replica rows."""
+        self.ledger.record("dir_replica_serve")
+
+    def dir_replica_push(self, n_targets: int) -> None:
+        """One hot-key fan-out: ``n_targets`` ReplicatePush frames queued."""
+        self.ledger.record("dir_replica_push", 0, max(n_targets, 1))
+
+    def directory_summary(self) -> dict:
+        """The directory-tier books: {dir_* category: count}."""
+        return {
+            cat: self.ledger.count[cat]
+            for cat in sorted(self.ledger.count)
+            if cat.startswith("dir_")
+        }
 
     # ------------------------------------------------------------------
     def wire_summary(self) -> dict:

@@ -1,0 +1,77 @@
+"""A tiny deterministic Bloom filter for directory negative caching.
+
+A :class:`~repro.net.directory.DirectorySlice` summarizes the function
+names it holds rows for into a Bloom filter, and piggybacks the summary
+on ``LookupRequest`` replies.  A querier holding the summary can prove
+*absence* locally — "this owner has no rows for that function" — and
+skip both the DHT route and the wire round trip for functions nobody
+registered (see ``PeerDaemon._lookup_miss``).  Bloom filters have no
+false negatives, so a *present* function can never be hidden by the
+filter itself; a false **positive** merely degrades to the ordinary
+routed lookup, which then returns the authoritative (empty) answer.
+
+The filter must hash identically on both ends of a connection and
+across processes, so membership bits are derived from BLAKE2b (never
+``hash()``, which is salted per process) with the standard
+double-hashing scheme: ``index_i = (h1 + i * h2) mod m``.
+
+Slices only ever *gain* functions, so the filter is add-only and needs
+no counting buckets; churn staleness is handled one level up by the
+cache-invalidation protocol (see ``docs/ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """An ``m``-bit, ``k``-hash Bloom set over strings (add-only)."""
+
+    __slots__ = ("m", "k", "_bits")
+
+    def __init__(self, m: int = 512, k: int = 4, bits: int = 0) -> None:
+        if m < 1:
+            raise ValueError(f"bloom filter needs at least one bit, got m={m}")
+        if k < 1:
+            raise ValueError(f"bloom filter needs at least one hash, got k={k}")
+        self.m = int(m)
+        self.k = int(k)
+        self._bits = int(bits)
+
+    def _indexes(self, item: str) -> List[int]:
+        digest = hashlib.blake2b(item.encode("utf-8"), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1  # odd: walks every residue
+        return [(h1 + i * h2) % self.m for i in range(self.k)]
+
+    def add(self, item: str) -> None:
+        for idx in self._indexes(item):
+            self._bits |= 1 << idx
+
+    def __contains__(self, item: str) -> bool:
+        bits = self._bits
+        return all((bits >> idx) & 1 for idx in self._indexes(item))
+
+    def __len__(self) -> int:
+        return bin(self._bits).count("1")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return (self.m, self.k, self._bits) == (other.m, other.k, other._bits)
+
+    # ------------------------------------------------------------------
+    # wire form: a plain JSON-safe triple, embeddable in reply dicts
+    # under both codec versions without a dedicated frame type
+    # ------------------------------------------------------------------
+    def to_wire(self) -> List:
+        return [self.m, self.k, format(self._bits, "x")]
+
+    @classmethod
+    def from_wire(cls, payload: Sequence) -> "BloomFilter":
+        m, k, hexbits = payload
+        return cls(int(m), int(k), int(str(hexbits), 16) if hexbits else 0)

@@ -42,7 +42,7 @@ from ..core.request import CompositeRequest
 from ..workload.generator import RequestConfig
 from ..workload.scenarios import Scenario, simulation_testbed
 from .accounting import LedgerTap
-from .directory import DirectorySlice
+from .directory import DirectorySlice, DirectoryTierConfig
 from .guard import SharedStateGuard
 from .peer import PeerDaemon
 from .codec import WIRE_VERSION_BINARY
@@ -60,7 +60,7 @@ class ClusterConfig:
     n_functions: int = 6
     n_ip: int = 0  # 0 -> derived from n_peers
     transport: str = "loopback"  # "loopback" | "tcp"
-    latency: Union[float, Callable[[int, int], float]] = 0.0  # loopback one-way delay
+    latency: Union[float, Callable[[int, int], float]] = 0.0  # emulated one-way delay
     loss: float = 0.0  # loopback frame-loss probability
     port_base: Optional[int] = None  # tcp: fixed ports; None -> OS-assigned
     seed: int = 0
@@ -78,6 +78,10 @@ class ClusterConfig:
     # True: DHT-routed discovery + per-peer pools, shared state sealed.
     # False: the original shared-ground-truth arrangement (sim parity).
     distributed: bool = True
+    # directory acceleration tier (distributed mode only): None -> the
+    # tier's defaults (enabled); DirectoryTierConfig(enabled=False)
+    # reproduces the pre-tier per-lookup routing exactly
+    directory_tier: Optional[DirectoryTierConfig] = None
     # wire fast path: preferred codec version (TCP negotiates down to
     # what the remote end speaks; 1 forces the JSON fallback everywhere)
     wire_version: int = WIRE_VERSION_BINARY
@@ -127,11 +131,14 @@ class LiveCluster:
             self.transport = TcpTransport(
                 port_base=cfg.port_base, tap=self.tap.on_frame,
                 max_wire_version=cfg.wire_version, coalesce=cfg.coalesce_writes,
-                flush_interval=cfg.flush_interval,
+                flush_interval=cfg.flush_interval, latency=cfg.latency,
             )
         else:
             raise ValueError(f"unknown transport {cfg.transport!r} (loopback|tcp)")
         self.distributed = cfg.distributed
+        self.dir_tier = (
+            (cfg.directory_tier or DirectoryTierConfig()) if self.distributed else None
+        )
         # distributed mode seals the shared registry/pool/DHT storage for
         # the cluster's lifetime: any read through them is a bug, and the
         # guard records it (then raises) instead of letting it pass
@@ -178,6 +185,7 @@ class LiveCluster:
                 directory=directory,
                 ring=ring,
                 dht=self.net.dht,
+                dir_tier=self.dir_tier,
             )
         self._started = False
 
@@ -210,12 +218,21 @@ class LiveCluster:
 
     async def _populate_directory(self) -> None:
         """Boot-time registration pass: every hosting daemon pushes its
-        components to their DHT owners as RegisterComponent RPCs."""
+        components to their DHT owners — one RegisterBatch per (registrant,
+        owner) pair with the tier on, per-spec RegisterComponent frames
+        with it off.  Registrants run concurrently: each row still only
+        becomes visible through its owner's RPC reply, and at boot no
+        peer holds cached state, so ordering between registrants is
+        immaterial."""
         by_peer: Dict[int, list] = {}
         for spec in self.scenario.population:
             by_peer.setdefault(spec.peer, []).append(spec)
-        for peer in sorted(by_peer):
-            await self.daemons[peer].register_components(by_peer[peer], now=0.0)
+        await asyncio.gather(
+            *(
+                self.daemons[peer].register_components(by_peer[peer], now=0.0)
+                for peer in sorted(by_peer)
+            )
+        )
 
     async def stop(self) -> None:
         for daemon in self.daemons.values():
@@ -345,6 +362,31 @@ class LiveCluster:
     def errors(self) -> List[str]:
         """Daemon task failures — should be empty after a clean run."""
         return [e for d in self.daemons.values() for e in d.errors]
+
+    def directory_stats(self) -> Dict[str, object]:
+        """Aggregate directory-tier health across daemons (distributed).
+
+        ``hit_rate`` is positive-cache hits over (hits + misses); Bloom
+        negative hits are counted separately — they short-circuit absent
+        functions, not repeats."""
+        hits = sum(d.cache_hits for d in self.daemons.values())
+        misses = sum(d.cache_misses for d in self.daemons.values())
+        out: Dict[str, object] = {
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "neg_hits": sum(d.neg_hits for d in self.daemons.values()),
+            "replica_serves": sum(d.replica_serves for d in self.daemons.values()),
+            "slices": {},
+        }
+        slices: Dict[int, Dict[str, int]] = {}
+        for peer, daemon in sorted(self.daemons.items()):
+            if daemon.directory is not None:
+                slices[peer] = daemon.directory.stats()
+        out["slices"] = slices
+        out["directory_serves"] = sum(s["serves"] for s in slices.values())
+        out["directory_rows"] = sum(s["rows"] for s in slices.values())
+        return out
 
     def rpc_stats(self) -> Dict[str, int]:
         calls = sum(d.endpoint.calls_sent for d in self.daemons.values())

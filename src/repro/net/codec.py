@@ -72,7 +72,10 @@ __all__ = [
     "ComposeResult",
     "MaintenancePing",
     "RegisterComponent",
+    "RegisterBatch",
     "LookupRequest",
+    "ReplicatePush",
+    "ReplicaInvalidate",
 ]
 
 MAGIC = b"SN"
@@ -230,6 +233,9 @@ _STATIC_STRINGS = (
     "ok", "error", "confirmed", "components", "rtt", "fresh",
     "alive", "request", "seq", "comp", "link", "delay", "loss",
     "cpu", "memory", "discovery", "composition", "setup_ack",
+    # directory tier reply keys (appended in a later revision; order is
+    # wire format, so new entries only ever go at the end)
+    "version", "bloom", "stale",
 )
 _STATIC_MAP = {s: i for i, s in enumerate(_STATIC_STRINGS)}
 
@@ -1242,15 +1248,70 @@ class RegisterComponent:
 
 @_message
 @dataclass(frozen=True)
+class RegisterBatch:
+    """Hosting peer → directory replica: store many rows in one frame.
+
+    Boot-time registration ships every component a registrant owes one
+    target as a single frame instead of one ``RegisterComponent`` per
+    spec.  The reply's ``stale`` map reports content-*changing* rows
+    back to the registrant — ``{function: [version, [holder peers]]}``
+    — so the registrant can invalidate exactly the peers that may cache
+    the old rows (see :class:`ReplicaInvalidate`)."""
+
+    specs: Tuple[ComponentSpec, ...]
+    registered_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+
+@_message
+@dataclass(frozen=True)
 class LookupRequest:
     """Querying peer → directory owner: a function's duplicate list.
 
     The reply carries the owner slice's ``ServiceMetadata`` rows; the
     querier computes the lookup RTT itself from the DHT route it took
-    to find the owner."""
+    to find the owner.  With the directory tier enabled the reply also
+    stamps the key's content ``version`` and piggybacks the slice's
+    Bloom summary (``bloom``) for the querier's negative cache."""
 
     function: str
     origin_peer: int
+
+
+@_message
+@dataclass(frozen=True)
+class ReplicatePush:
+    """Hot key's holder → extended ring successors: replicate the rows.
+
+    Sent when a key's decayed remote-serve rate crosses the configured
+    hotness threshold: the peers just past the base replica set store
+    the rows as a *replica tier* (newest ``version`` wins) and serve
+    their own lookups locally thereafter."""
+
+    function: str
+    rows: Tuple[ServiceMetadata, ...]
+    version: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(self.rows))
+
+
+@_message
+@dataclass(frozen=True)
+class ReplicaInvalidate:
+    """Registrant → stale holders: a function's rows changed.
+
+    Fan-out sent (and awaited) by ``register_components`` after a
+    content-changing re-registration, to every peer the directory
+    replicas report as a possible stale holder: recipients drop their
+    cached entry and replica rows for ``function`` and the Bloom
+    summaries covering its key, so the next lookup re-resolves.
+    ``version`` is the key's new content version."""
+
+    function: str
+    version: int
 
 
 # ----------------------------------------------------------------------

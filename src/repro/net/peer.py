@@ -40,6 +40,23 @@ successors), registration and discovery travel as
 :class:`~repro.net.codec.LookupRequest` RPCs, and the lookup RTT is
 derived from the same Pastry route a sync lookup would take — so the
 message ledger and probe timing stay comparable across modes.
+
+**Directory acceleration tier.**  With a
+:class:`~repro.net.directory.DirectoryTierConfig` enabled (the cluster
+default), repeated lookups stop converging on the key's owner: each
+daemon keeps a TTL'd *positive cache* of resolved duplicate lists
+(invalidated precisely on registration churn via content versions and
+``ReplicaInvalidate``), a *negative cache* built from the owners' Bloom
+summaries (absent functions short-circuit without routing the DHT), and
+serves keys whose owner pushed replica rows here (``ReplicatePush``,
+triggered by the owner's decayed serve rate).  A cache hit returns the
+exact (components, rtt) pair the routed lookup produced the first time
+— the DHT route is deterministic over a static ring, so selections and
+probe timing are bit-identical with the tier on or off; only the
+``dht_route`` / ``net_directory`` charges genuinely shrink, which the
+ledger's ``dir_*`` counters audit.  Staleness is bounded by the awaited
+invalidation fan-out on re-registration plus the cache TTL backstop
+(see ``docs/ARCHITECTURE.md`` for the exact window).
 """
 
 from __future__ import annotations
@@ -64,7 +81,8 @@ from ..discovery.metadata import ServiceMetadata
 from ..services.component import ComponentSpec
 from . import codec
 from .accounting import LedgerTap
-from .directory import DirectorySlice
+from .bloom import BloomFilter
+from .directory import DirectorySlice, DirectoryTierConfig
 from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError
 
 __all__ = ["PeerDaemon", "LiveSession"]
@@ -165,6 +183,7 @@ class PeerDaemon:
         directory: Optional[DirectorySlice] = None,
         ring: Optional[RingSnapshot] = None,
         dht=None,
+        dir_tier: Optional[DirectoryTierConfig] = None,
     ) -> None:
         self.peer_id = peer_id
         self.bcp = bcp
@@ -175,6 +194,7 @@ class PeerDaemon:
         self.directory = directory
         self.ring = ring
         self.dht = dht if dht is not None else getattr(bcp.registry, "dht", None)
+        self.dir_tier = dir_tier
         self.counters = counters  # shared rid -> probes_sent (harness bookkeeping)
         self.tap = tap
         self.trace = trace
@@ -191,7 +211,24 @@ class PeerDaemon:
         self._timers: Dict[Tuple[int, Tuple], asyncio.TimerHandle] = {}
         self._seen = DedupCache()  # (rid, Probe.dedup_key()) application dedup
         # rid -> {(function, origin): future} single-flight lookup dedup
+        # (the tier-off wire path; entries are evicted when the request's
+        # session completes — release broadcast, source return, finalize)
         self._lookup_flight: Dict[int, Dict[Tuple[str, int], asyncio.Future]] = {}
+        # directory tier state (tier-on distributed mode only):
+        # function -> (components, rtt, expires) positive cache
+        self._dir_cache: Dict[str, Tuple[Tuple[ServiceMetadata, ...], float, float]] = {}
+        # function -> route-priced rtt; never invalidated (the ring and
+        # topology are static, so the route is a pure function of the key)
+        self._rtt_cache: Dict[str, float] = {}
+        # serving peer -> (BloomFilter, expires) negative-cache summaries
+        self._owner_blooms: Dict[int, Tuple[BloomFilter, float]] = {}
+        # function -> in-flight miss future (daemon-wide single flight:
+        # concurrent misses share one route+fetch, then hit the cache)
+        self._miss_flight: Dict[str, asyncio.Future] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.neg_hits = 0
+        self.replica_serves = 0
         self._collections: Dict[int, _Collection] = {}
         self._pending_results: Dict[int, asyncio.Future] = {}
         self.sessions: Dict[int, LiveSession] = {}
@@ -207,7 +244,10 @@ class PeerDaemon:
         endpoint.on(codec.ComposeResult, self._on_result)
         endpoint.on(codec.MaintenancePing, self._on_ping)
         endpoint.on(codec.RegisterComponent, self._on_register)
+        endpoint.on(codec.RegisterBatch, self._on_register_batch)
         endpoint.on(codec.LookupRequest, self._on_lookup)
+        endpoint.on(codec.ReplicatePush, self._on_replica_push)
+        endpoint.on(codec.ReplicaInvalidate, self._on_replica_invalidate)
 
     # ------------------------------------------------------------------
     # plumbing
@@ -216,6 +256,15 @@ class PeerDaemon:
     def distributed(self) -> bool:
         """True when discovery is DHT-routed instead of shared-registry."""
         return self.directory is not None and self.ring is not None
+
+    @property
+    def tier_enabled(self) -> bool:
+        """True when the directory acceleration tier is active."""
+        return (
+            self.distributed
+            and self.dir_tier is not None
+            and self.dir_tier.enabled
+        )
 
     def _now(self) -> float:
         return float(self._clock())
@@ -249,6 +298,7 @@ class PeerDaemon:
             if col.deadline_handle is not None:
                 col.deadline_handle.cancel()
         self._lookup_flight.clear()
+        self._miss_flight.clear()
         for task in list(self._tasks):
             task.cancel()
 
@@ -317,6 +367,11 @@ class PeerDaemon:
             msg = await asyncio.wait_for(future, wall)
         finally:
             self._pending_results.pop(rid, None)
+            # the source's root expansion opened this rid's flight map;
+            # the session is over for this daemon either way (the release
+            # broadcast also clears it, but not when the compose failed
+            # before the destination ever finalized)
+            self._lookup_flight.pop(rid, None)
         return self._result_from_message(request, msg)
 
     @staticmethod
@@ -409,10 +464,22 @@ class PeerDaemon:
         each logical lookup still routes the DHT itself, so ledger
         charges and the route-priced RTT are identical with and without
         the dedup.
+
+        With the directory tier enabled the per-rid flights are replaced
+        by a daemon-wide positive cache: a miss performs one DHT route +
+        wire fetch (misses for the same function single-flight across
+        requests too) and every hit — within a wave or across composes —
+        returns the cached (components, rtt) pair without routing.  The
+        route is deterministic over a static ring, so the cached rtt is
+        exactly what re-routing would price and probe timing is
+        unchanged; only the ``dht_route`` / ``net_directory`` charges
+        shrink, which is the tier's entire effect on the books.
         """
         if not self.distributed:
             res = self.bcp.registry.lookup(function, origin_peer)
             return list(res.components), res.rtt
+        if self.tier_enabled:
+            return await self._lookup_cached(function, origin_peer)
         key = key_for(function)
         route = self.dht.route(key, origin_peer)
         rtt = 2.0 * route.latency
@@ -436,11 +503,101 @@ class PeerDaemon:
             fut.set_result(comps)
         return list(comps), rtt
 
+    # ------------------------------------------------------------------
+    # directory tier: cached lookup path
+    # ------------------------------------------------------------------
+    async def _lookup_cached(
+        self, function: str, origin_peer: int
+    ) -> Tuple[List[ServiceMetadata], float]:
+        entry = self._dir_cache.get(function)
+        if entry is not None and self._now() < entry[2]:
+            self.cache_hits += 1
+            if self.tap is not None:
+                self.tap.dir_cache_hit()
+            return list(entry[0]), entry[1]
+        fut = self._miss_flight.get(function)
+        if fut is not None:
+            comps, rtt = await asyncio.shield(fut)
+            # the leader's miss covers the whole flight; followers are
+            # hits against its (imminent) cache entry
+            self.cache_hits += 1
+            if self.tap is not None:
+                self.tap.dir_cache_hit()
+            return list(comps), rtt
+        fut = asyncio.get_running_loop().create_future()
+        self._miss_flight[function] = fut
+        try:
+            comps, rtt = await self._lookup_miss(function, origin_peer)
+        except BaseException:
+            if not fut.done():
+                fut.set_result(([], self._rtt_cache.get(function, 0.0)))
+            raise
+        finally:
+            self._miss_flight.pop(function, None)
+        if not fut.done():
+            fut.set_result((tuple(comps), rtt))
+        return list(comps), rtt
+
+    async def _lookup_miss(
+        self, function: str, origin_peer: int
+    ) -> Tuple[List[ServiceMetadata], float]:
+        """Resolve one positive-cache miss: negative cache, route, fetch."""
+        tier = self.dir_tier
+        key = key_for(function)
+        if tier.negative_cache:
+            owner = self.ring.owner_peer(key)
+            held = self._owner_blooms.get(owner)
+            if (
+                held is not None
+                and self._now() < held[1]
+                and function not in held[0]
+            ):
+                # the owner's summary proves absence: no route, no wire.
+                # Bloom filters have no false negatives, so a present
+                # function can never be hidden — only churn staleness
+                # applies, and registration invalidates summary holders.
+                self.neg_hits += 1
+                if self.tap is not None:
+                    self.tap.dir_neg_hit()
+                rtt = self._rtt_cache.get(function, 0.0)
+                self._dir_cache[function] = ((), rtt, self._now() + tier.cache_ttl)
+                return [], rtt
+        self.cache_misses += 1
+        if self.tap is not None:
+            self.tap.dir_cache_miss()
+        rtt = self._rtt_cache.get(function)
+        if rtt is None:
+            # first resolution from this daemon: route the DHT exactly as
+            # the tier-off path would (charging dht_route per hop) and
+            # remember the priced rtt — the route is a pure function of
+            # (key, origin) over the static ring, so reuse is exact
+            route = self.dht.route(key, origin_peer)
+            rtt = 2.0 * route.latency
+            self._rtt_cache[function] = rtt
+        comps = await self._fetch_components(key, function, origin_peer)
+        self._dir_cache[function] = (
+            tuple(comps), rtt, self._now() + tier.cache_ttl
+        )
+        return comps, rtt
+
     async def _fetch_components(
         self, key, function: str, origin_peer: int
     ) -> List[ServiceMetadata]:
         """The wire half of a distributed lookup: ask the key's replicas."""
-        for target in self.ring.replica_peers(key):
+        replicas = self.ring.replica_peers(key)
+        if self.tier_enabled:
+            if self.peer_id in replicas:
+                # authoritative local copy: registration populates every
+                # base replica synchronously, so this equals the owner's
+                # rows (the tier-off path asks the owner first regardless)
+                return self.directory.lookup(key)
+            held = self.directory.replica_lookup(key)
+            if held is not None:
+                self.replica_serves += 1
+                if self.tap is not None:
+                    self.tap.dir_replica_serve()
+                return held
+        for target in replicas:
             if target == self.peer_id:
                 return self.directory.lookup(key)
             try:
@@ -451,9 +608,23 @@ class PeerDaemon:
                 continue  # owner unreachable: fall back to the next replica
             if not isinstance(reply, dict) or reply.get("error"):
                 continue
+            self._note_lookup_reply(target, reply)
             return [c for c in reply.get("components", ()) if isinstance(c, ServiceMetadata)]
         self._trace("lookup_failed", function=function, origin=origin_peer)
         return []
+
+    def _note_lookup_reply(self, target: int, reply: dict) -> None:
+        """Stash the serving replica's piggybacked Bloom summary."""
+        if not self.tier_enabled or not self.dir_tier.negative_cache:
+            return
+        wire = reply.get("bloom")
+        if not wire:
+            return
+        try:
+            summary = BloomFilter.from_wire(wire)
+        except (ValueError, TypeError):
+            return  # malformed summary: negative caching just doesn't apply
+        self._owner_blooms[target] = (summary, self._now() + self.dir_tier.cache_ttl)
 
     async def _send_probe(
         self,
@@ -750,6 +921,7 @@ class PeerDaemon:
             await self._broadcast_release(rid, set())
         result.success = success
         self._collections.pop(rid, None)
+        self._lookup_flight.pop(rid, None)  # destination-side flight map
         self._trace(
             "compose_finished", request=rid, success=success, why=why,
             arrivals=len(arrivals), probes=result.probes_sent,
@@ -928,22 +1100,78 @@ class PeerDaemon:
         owner's death.  A row is visible to other peers only once the
         owner's RegisterComponent RPC completed — there is no
         read-your-own-unregistered-write through shared memory.
+
+        With the directory tier enabled the per-(spec, replica) frames are
+        coalesced into one ``RegisterBatch`` per target peer, and any
+        content-*changing* registration (new function, replaced QoS) is
+        followed by awaited ``ReplicaInvalidate`` fan-out to exactly the
+        peers that may hold a stale copy — recent queriers, pushed
+        replica holders, Bloom-summary recipients — so churn is visible
+        to other peers' caches as soon as this call returns.  At boot all
+        of those holder sets are empty, so booting a cluster produces
+        zero invalidation traffic.
         """
         if not self.distributed:
             raise RuntimeError("register_components requires distributed mode")
+        if not self.tier_enabled:
+            for spec in specs:
+                key = key_for(spec.function)
+                msg = codec.RegisterComponent(spec, registered_at=now)
+                for target in self.ring.replica_peers(key):
+                    if target == self.peer_id:
+                        self.directory.store(key, ServiceMetadata.from_spec(spec, registered_at=now))
+                    else:
+                        await self.endpoint.call(target, msg, retry=self.control_retry)
+            return
+        by_target: Dict[int, List[ComponentSpec]] = {}
+        stale: Dict[str, Set[int]] = {}
+        versions: Dict[str, int] = {}
         for spec in specs:
             key = key_for(spec.function)
-            msg = codec.RegisterComponent(spec, registered_at=now)
+            # our own positive cache may hold the pre-churn rows
+            self._dir_cache.pop(spec.function, None)
             for target in self.ring.replica_peers(key):
                 if target == self.peer_id:
-                    self.directory.store(key, ServiceMetadata.from_spec(spec, registered_at=now))
+                    changed = self.directory.store(
+                        key, ServiceMetadata.from_spec(spec, registered_at=now)
+                    )
+                    if changed:
+                        holders = self.directory.stale_holders(key)
+                        if holders:
+                            stale.setdefault(spec.function, set()).update(holders)
+                            versions[spec.function] = self.directory.key_version(key)
                 else:
-                    await self.endpoint.call(target, msg, retry=self.control_retry)
+                    by_target.setdefault(target, []).append(spec)
+        for target in sorted(by_target):
+            reply = await self.endpoint.call(
+                target,
+                codec.RegisterBatch(tuple(by_target[target]), registered_at=now),
+                retry=self.control_retry,
+            )
+            if isinstance(reply, dict):
+                for function, entry in (reply.get("stale") or {}).items():
+                    version, holders = entry
+                    stale.setdefault(function, set()).update(holders)
+                    versions[function] = max(versions.get(function, 0), version)
+        # churn fan-out: invalidate every peer that may cache pre-churn
+        # state, awaited so the registration's completion implies
+        # cluster-wide cache coherence (the churn test's contract)
+        for function in sorted(stale):
+            inval = codec.ReplicaInvalidate(function, versions.get(function, 0))
+            for holder in sorted(stale[function]):
+                if holder == self.peer_id:
+                    self._apply_invalidate(inval)
+                    continue
+                try:
+                    await self.endpoint.call(holder, inval, retry=self.control_retry)
+                except RpcError:
+                    pass  # holder unreachable: its TTL bounds the staleness
 
     async def _on_register(self, src: int, msg: codec.RegisterComponent) -> dict:
         if self.distributed:
             if self.stopped:
                 return {"error": "stopped"}
+            self._dir_cache.pop(msg.spec.function, None)
             fresh = self.directory.store(
                 key_for(msg.spec.function),
                 ServiceMetadata.from_spec(msg.spec, registered_at=msg.registered_at),
@@ -952,10 +1180,108 @@ class PeerDaemon:
         self.bcp.registry.register(msg.spec)
         return {"ok": True}
 
+    async def _on_register_batch(self, src: int, msg: codec.RegisterBatch) -> dict:
+        if not self.distributed:
+            for spec in msg.specs:
+                self.bcp.registry.register(spec)
+            return {"ok": True}
+        if self.stopped:
+            return {"error": "stopped"}
+        stale: Dict[str, List] = {}
+        for spec in msg.specs:
+            key = key_for(spec.function)
+            self._dir_cache.pop(spec.function, None)
+            changed = self.directory.store(
+                key, ServiceMetadata.from_spec(spec, registered_at=msg.registered_at)
+            )
+            if changed:
+                holders = self.directory.stale_holders(key)
+                if holders:
+                    stale[spec.function] = [
+                        self.directory.key_version(key),
+                        sorted(holders),
+                    ]
+        reply: dict = {"ok": True}
+        if stale:
+            reply["stale"] = stale
+        return reply
+
     async def _on_lookup(self, src: int, msg: codec.LookupRequest) -> dict:
         if self.distributed:
             if self.stopped:
                 return {"error": "stopped"}
-            return {"components": self.directory.lookup(key_for(msg.function)), "rtt": 0.0}
+            key = key_for(msg.function)
+            rows = self.directory.lookup(key)
+            reply: dict = {"components": rows, "rtt": 0.0}
+            if self.tier_enabled:
+                tier = self.dir_tier
+                self.directory.note_querier(key, msg.origin_peer)
+                reply["version"] = self.directory.key_version(key)
+                if tier.negative_cache:
+                    reply["bloom"] = self.directory.bloom_wire()
+                    self.directory.note_bloom_recipient(msg.origin_peer)
+                if tier.hot_threshold > 0:
+                    rate = self.directory.note_serve_rate(
+                        key, self._now(), tier.popularity_halflife
+                    )
+                    if (
+                        rows
+                        and rate >= tier.hot_threshold
+                        and self.directory.mark_pushed(key)
+                    ):
+                        # fan-out must not run inline: the transport's
+                        # receive loop awaits this handler, so an
+                        # outbound call here would deadlock (same
+                        # pattern as _on_probe's forwarding)
+                        self._spawn(self._push_replicas(key, msg.function))
+            return reply
         res = self.bcp.registry.lookup(msg.function, msg.origin_peer)
         return {"components": list(res.components), "rtt": res.rtt}
+
+    async def _push_replicas(self, key: int, function: str) -> None:
+        """Push a hot key's rows to the ring peers past the base replicas."""
+        rows = self.directory.rows(key)
+        if not rows:
+            return
+        version = self.directory.key_version(key)
+        base = set(self.ring.replica_peers(key))
+        targets = [
+            p
+            for p in self.ring.extended_replica_peers(key, self.dir_tier.replica_span)
+            if p not in base and p != self.peer_id
+        ]
+        if not targets:
+            return
+        self.directory.note_pushed(key, targets)
+        if self.tap is not None:
+            self.tap.dir_replica_push(len(targets))
+        push = codec.ReplicatePush(function, tuple(rows), version)
+        for target in targets:
+            try:
+                await self.endpoint.call(target, push, retry=self.control_retry)
+            except RpcError:
+                pass  # best-effort: the target keeps resolving via the owner
+
+    async def _on_replica_push(self, src: int, msg: codec.ReplicatePush) -> dict:
+        if not self.distributed or self.stopped:
+            return {"error": "stopped"}
+        key = key_for(msg.function)
+        if self.peer_id not in self.ring.replica_peers(key):
+            self.directory.store_replica(key, msg.rows, msg.version)
+        return {"ok": True}
+
+    def _apply_invalidate(self, msg: codec.ReplicaInvalidate) -> None:
+        key = key_for(msg.function)
+        self._dir_cache.pop(msg.function, None)
+        self.directory.drop_replica(key)
+        if self.dir_tier is not None and self.dir_tier.negative_cache:
+            # the key's holders rebuilt their Bloom summaries; drop our
+            # cached copies so absence is re-proved against fresh state
+            for holder in self.ring.replica_peers(key):
+                self._owner_blooms.pop(holder, None)
+
+    async def _on_replica_invalidate(self, src: int, msg: codec.ReplicaInvalidate) -> dict:
+        if not self.distributed or self.stopped:
+            return {"error": "stopped"}
+        self._apply_invalidate(msg)
+        return {"ok": True}

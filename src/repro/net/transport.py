@@ -266,6 +266,15 @@ class TcpTransport(_BaseTransport):
     when a connection's buffer passes the high-water mark, preserving
     per-connection backpressure; a broken connection fails *subsequent*
     sends, which the RPC retry path already treats as message loss.
+
+    ``latency`` emulates one-way wire delay just like the loopback
+    transport (a float, or ``(src, dst) -> float`` over peer ids):
+    inbound frames are timestamped on arrival and dispatched by a
+    per-connection pump once their delay elapses, so a burst keeps one
+    shared delay instead of serializing N sleeps.  Localhost TCP is
+    effectively zero-latency, which makes every topology look flat —
+    this knob lets benchmarks emulate the *modeled* overlay delays on a
+    real socket path.
     """
 
     def __init__(
@@ -276,6 +285,7 @@ class TcpTransport(_BaseTransport):
         max_wire_version: int = WIRE_VERSION_BINARY,
         coalesce: bool = True,
         flush_interval: float = 0.0,
+        latency: float | Callable[[int, int], float] = 0.0,
     ) -> None:
         super().__init__(tap=tap)
         if max_wire_version not in SUPPORTED_WIRE_VERSIONS:
@@ -287,6 +297,8 @@ class TcpTransport(_BaseTransport):
         self.max_wire_version = max_wire_version
         self.coalesce = coalesce
         self.flush_interval = flush_interval
+        self._latency = latency if callable(latency) else (lambda s, d, l=latency: l)
+        self._delay_inbound = callable(latency) or latency > 0
         self.addresses: Dict[int, Tuple[str, int]] = {}
         self._servers: Dict[int, asyncio.base_events.Server] = {}
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -455,6 +467,17 @@ class TcpTransport(_BaseTransport):
             self._conn_tasks.add(task)
         self._accepted.setdefault(peer_id, []).append(writer)
         frames = FrameReader()
+        # with latency emulation, frames go through a per-connection pump
+        # that releases each one at arrival_time + delay: FIFO per link,
+        # and a burst shares one delay instead of serializing N sleeps
+        pump_queue: Optional[asyncio.Queue] = None
+        pump_task: Optional[asyncio.Task] = None
+        if self._delay_inbound:
+            pump_queue = asyncio.Queue()
+            pump_task = asyncio.get_running_loop().create_task(
+                self._pump(peer_id, pump_queue), name=f"tcp-delay-{peer_id}"
+            )
+            self._conn_tasks.add(pump_task)
         try:
             while True:
                 chunk = await reader.read(65536)
@@ -473,6 +496,13 @@ class TcpTransport(_BaseTransport):
                         continue
                     if peer_id in self._killed:
                         return
+                    if pump_queue is not None:
+                        src = envelope.get("src", peer_id)
+                        due = asyncio.get_running_loop().time() + max(
+                            0.0, self._latency(src, peer_id)
+                        )
+                        pump_queue.put_nowait((due, envelope))
+                        continue
                     handler = self._handlers.get(peer_id)
                     if handler is not None:
                         await handler(envelope)
@@ -483,7 +513,33 @@ class TcpTransport(_BaseTransport):
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
+            if pump_queue is not None:
+                pump_queue.put_nowait(None)  # drain what's in flight, then stop
             writer.close()
             accepted = self._accepted.get(peer_id)
             if accepted and writer in accepted:
                 accepted.remove(writer)
+
+    async def _pump(self, peer_id: int, queue: asyncio.Queue) -> None:
+        """Deliver delayed inbound frames once their due time arrives."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    break
+                due, envelope = item
+                now = loop.time()
+                if due > now:
+                    await asyncio.sleep(due - now)
+                if peer_id in self._killed:
+                    continue
+                handler = self._handlers.get(peer_id)
+                if handler is not None:
+                    await handler(envelope)
+        except asyncio.CancelledError:
+            pass  # transport teardown
+        finally:
+            current = asyncio.current_task()
+            if current is not None:
+                self._conn_tasks.discard(current)

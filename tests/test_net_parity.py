@@ -12,6 +12,13 @@ combination must reproduce the same selections — and charge the same
 *logical* message counts to the ledger (batching changes frames, never
 logical messages).
 
+A third axis covers the directory acceleration tier: with the tier on,
+repeated lookups are served from peer-local caches instead of routing
+the DHT, yet selections stay bit-identical — the cached (components,
+rtt) pair is exactly what re-routing a static ring would produce.  What
+*does* change is the ``dht_route`` charge per compose, which a dedicated
+test pins down (fewer routes with caching, same bcp_* books).
+
 A further test drives a real TCP cluster through a peer kill and shows a
 composition still completing end-to-end with the retry/backoff path
 exercised.
@@ -22,7 +29,7 @@ import asyncio
 import pytest
 
 from repro.core.bcp import BCPConfig, NextHopWeights
-from repro.net import ClusterConfig, LiveCluster
+from repro.net import ClusterConfig, DirectoryTierConfig, LiveCluster
 from repro.net.rpc import RetryPolicy
 
 
@@ -44,14 +51,24 @@ def _parity_config(transport="loopback", **overrides):
     return ClusterConfig(**base)
 
 
-# every (codec, coalescing) combination the transports can negotiate
-_WIRE_AXES = [(1, False), (1, True), (2, False), (2, True)]
-_WIRE_IDS = ["v1-drain", "v1-coalesced", "v2-drain", "v2-coalesced"]
+# every (codec, coalescing) combination the transports can negotiate,
+# plus the directory tier toggled off on the fast-path combo — caching
+# must be invisible to selections in both states
+_WIRE_AXES = [
+    (1, False, True),
+    (1, True, True),
+    (2, False, True),
+    (2, True, True),
+    (2, True, False),
+]
+_WIRE_IDS = ["v1-drain", "v1-coalesced", "v2-drain", "v2-coalesced", "v2-nocache"]
 
 
-@pytest.mark.parametrize("wire_version,coalesce", _WIRE_AXES, ids=_WIRE_IDS)
+@pytest.mark.parametrize("wire_version,coalesce,dir_cache", _WIRE_AXES, ids=_WIRE_IDS)
 @pytest.mark.parametrize("distributed", [False, True], ids=["shared", "distributed"])
-def test_loopback_cluster_matches_synchronous_bcp(distributed, wire_version, coalesce):
+def test_loopback_cluster_matches_synchronous_bcp(
+    distributed, wire_version, coalesce, dir_cache
+):
     """Both state models must reproduce the sync engine's exact choices.
 
     The distributed variant additionally proves the selections were made
@@ -66,6 +83,7 @@ def test_loopback_cluster_matches_synchronous_bcp(distributed, wire_version, coa
                 distributed=distributed,
                 wire_version=wire_version,
                 coalesce_writes=coalesce,
+                directory_tier=DirectoryTierConfig(enabled=dir_cache),
             )
         )
         requests = cluster.scenario.requests.batch(5)
@@ -113,7 +131,11 @@ def test_wire_options_change_frames_not_logical_messages():
     # from process-global counters, so only same-scenario runs are
     # comparable.  confirm=False releases every reservation, leaving the
     # pools in their initial state for the next combo's pass.
+    # hot_threshold=0 disables the popularity fan-out, whose wall-clock
+    # EWMA makes push counts timing-dependent; the cache hit/miss books
+    # are deterministic (one miss + N-1 hits per (daemon, function)).
     shared = {}
+    tier = DirectoryTierConfig(hot_threshold=0.0)
 
     def one_combo(wire_version, coalesce):
         async def scenario():
@@ -122,6 +144,7 @@ def test_wire_options_change_frames_not_logical_messages():
                     distributed=True,
                     wire_version=wire_version,
                     coalesce_writes=coalesce,
+                    directory_tier=tier,
                 ),
                 scenario=shared.get("scenario"),
             )
@@ -143,13 +166,65 @@ def test_wire_options_change_frames_not_logical_messages():
 
         return asyncio.run(scenario())
 
-    baseline_sigs, baseline_counts = one_combo(*_WIRE_AXES[0])
+    combos = [(wv, co) for wv, co, cache in _WIRE_AXES if cache]
+    baseline_sigs, baseline_counts = one_combo(*combos[0])
     assert any(s is not None for s in baseline_sigs), "fixture must compose something"
     assert baseline_counts.get("bcp_probe", 0) > 0
-    for wire_version, coalesce in _WIRE_AXES[1:]:
+    for wire_version, coalesce in combos[1:]:
         sigs, counts = one_combo(wire_version, coalesce)
         assert sigs == baseline_sigs, (wire_version, coalesce)
         assert counts == baseline_counts, (wire_version, coalesce)
+
+
+def test_directory_cache_changes_routing_charges_not_selections():
+    """The directory tier's entire ledger effect must be the discovery
+    plane: identical selections and identical bcp_* books, strictly
+    fewer ``dht_route`` charges, and the saved work visible as
+    ``dir_cache_hit`` entries."""
+
+    shared = {}
+
+    def one_pass(dir_cache):
+        async def scenario():
+            cluster = LiveCluster(
+                _parity_config(
+                    distributed=True,
+                    # fan-out off for count determinism (see above); the
+                    # positive/negative caches are the axis under test
+                    directory_tier=DirectoryTierConfig(
+                        enabled=dir_cache, hot_threshold=0.0
+                    ),
+                ),
+                scenario=shared.get("scenario"),
+            )
+            if "scenario" not in shared:
+                shared["scenario"] = cluster.scenario
+                shared["requests"] = cluster.scenario.requests.batch(6)
+            async with cluster:
+                snap = cluster.ledger.snapshot()
+                results = []
+                for r in shared["requests"]:
+                    results.append(await cluster.compose(r, confirm=False, timeout=60))
+                delta = cluster.ledger.delta_since(snap)
+            assert cluster.errors() == []
+            assert cluster.shared_guard is not None
+            assert list(cluster.shared_guard.violations) == []
+            sigs = [r.best.signature() if r.success else None for r in results]
+            counts = {cat: dc for cat, (dc, _db) in delta.items() if dc}
+            return sigs, counts
+
+        return asyncio.run(scenario())
+
+    on_sigs, on_counts = one_pass(True)
+    off_sigs, off_counts = one_pass(False)
+    assert any(s is not None for s in on_sigs), "fixture must compose something"
+    assert on_sigs == off_sigs
+    for cat in ("bcp_probe", "bcp_ack", "bcp_failure"):
+        assert on_counts.get(cat, 0) == off_counts.get(cat, 0), cat
+    # the headline: cached lookups really skip the DHT routing work
+    assert on_counts.get("dht_route", 0) < off_counts.get("dht_route", 0)
+    assert on_counts.get("dir_cache_hit", 0) > 0
+    assert "dir_cache_hit" not in off_counts
 
 
 def test_tcp_cluster_survives_peer_kill():
