@@ -37,6 +37,15 @@ to wall milliseconds) on *both* transports, since flat localhost wires
 hide exactly the remote-lookup cost the tier removes.  Crash and parity
 gating applies; the speedup itself is informational per run and
 asserted in the recorded history.
+
+The **link-degradation phase** (skippable with ``--no-degrade``)
+exercises the topology measurement plane: over the same emulated
+topology latency it lets per-link RTT baselines settle, inflates the
+wire delay of the first link on the source's static route mid-run, and
+then measures how long the source daemon takes to reprice the link and
+route around it (``reroute_s``), the converged RTT inflation ratio, and
+compose/sec during the degraded window.  Builds without
+``ClusterConfig.measurement`` skip the phase.
 """
 
 from __future__ import annotations
@@ -103,6 +112,15 @@ HOT_DEST = 4
 HOT_COMPONENTS = (4, 6)
 HOT_WARMUP = 2
 TOPOLOGY_LATENCY_SCALE = 0.05
+
+# link-degradation phase (see run_degradation): multiply the wire delay
+# of one hot link by this factor mid-run and watch the measurement
+# plane reprice it.  6x clears the plane's materiality gate (ratio 1.5)
+# with a wide margin, so convergence speed — not threshold luck — is
+# what the phase measures.
+DEGRADE_FACTOR = 6.0
+DEGRADE_PROBE_INTERVAL = 0.05
+DEGRADE_CONVERGE_TIMEOUT = 10.0
 
 
 async def run_hot_function(params: BenchParams, cache_on: bool, shared: Dict) -> Dict:
@@ -221,6 +239,159 @@ async def run_hot_function(params: BenchParams, cache_on: bool, shared: Dict) ->
         "cache_hit_rate": round(dir_stats.get("hit_rate", 0.0), 3),
         "daemon_errors": errors,
     }
+
+
+async def run_degradation(params: BenchParams, quick: bool) -> Dict:
+    """Link-degradation pass: measure the plane's reroute reaction time.
+
+    Uses the hot-function geometry (pinned seed, emulated topology
+    latency) so the degraded link is genuinely on the service path.
+    Timeline: warm up until RTT baselines lock, time a healthy compose
+    window, inflate the wire delay of the first static-route link by
+    ``DEGRADE_FACTOR``, then compose in a tight loop until the source
+    daemon's measured view routes around the link (``reroute_s``) and
+    time a degraded compose window.  Convergence is driven by both
+    active probes (``DEGRADE_PROBE_INTERVAL``) and the passive samples
+    the composes themselves piggyback.
+
+    Returns ``{}`` on builds without ``ClusterConfig.measurement``.
+    ``rerouted`` is informational — a topology without a cheaper
+    alternative path legitimately keeps the link — but crash gating
+    (daemon errors, failed composes) applies like every other phase,
+    with one carve-out: composes issued inside the convergence window
+    may legitimately miss their QoS delay bound while the only known
+    route is still priced at the degraded latency, so those failures
+    are reported (``converge_failures``) but not gated on.
+    """
+    if "measurement" not in _CONFIG_FIELDS:
+        return {}
+    from repro.net import MeasurementConfig
+
+    overrides = {}
+    if params.wire_version is not None:
+        overrides["wire_version"] = params.wire_version
+    if params.coalesce is not None:
+        overrides["coalesce_writes"] = params.coalesce
+
+    def deg_config(**extra) -> ClusterConfig:
+        return make_cluster_config(
+            n_peers=HOT_PEERS,
+            n_functions=6,
+            transport=params.transport,
+            seed=HOT_SEED,
+            distributed=True,
+            components_per_peer=HOT_COMPONENTS,
+            bcp_config=BCPConfig(
+                budget=32,
+                nexthop_weights=NextHopWeights(delay=0.6, bandwidth=0.0, failure=0.4),
+            ),
+            capacity_scale=50.0,
+            measurement=MeasurementConfig(probe_interval=DEGRADE_PROBE_INTERVAL),
+            **overrides,
+            **extra,
+        )
+
+    scenario = LiveCluster(deg_config()).scenario
+    overlay = scenario.overlay
+    template = scenario.requests.next_request(source=HOT_SOURCE, dest=HOT_DEST)
+
+    static_path = overlay.router.path(HOT_SOURCE, HOT_DEST)
+    if len(static_path) < 2:
+        return {}
+    hot_link = tuple(sorted(static_path[:2]))
+    neighbour = hot_link[0] if hot_link[1] == HOT_SOURCE else hot_link[1]
+
+    degraded: Dict[tuple, float] = {}
+
+    def wire_delay(src: int, dst: int) -> float:
+        if src == dst or not (0 <= src < HOT_PEERS and 0 <= dst < HOT_PEERS):
+            return 0.0
+        base = overlay.latency(src, dst) * TOPOLOGY_LATENCY_SCALE
+        link = (src, dst) if src < dst else (dst, src)
+        return base * degraded.get(link, 1.0)
+
+    cluster = LiveCluster(deg_config(latency=wire_delay), scenario=scenario)
+    n = 8 if quick else 24
+    next_id = 20_000_000
+
+    def fresh_request():
+        nonlocal next_id
+        next_id += 1
+        return dataclasses.replace(template, request_id=next_id)
+
+    def path_links(path) -> set:
+        return {tuple(sorted(pair)) for pair in zip(path, path[1:])}
+
+    result: Dict = {
+        "peers": HOT_PEERS,
+        "seed": HOT_SEED,
+        "degraded_link": list(hot_link),
+        "degrade_factor": DEGRADE_FACTOR,
+        "latency_scale": TOPOLOGY_LATENCY_SCALE,
+        "requests_per_phase": n,
+    }
+    failures = 0
+    async with cluster:
+        plane = cluster.daemons[HOT_SOURCE].measurement
+        view = plane.view
+        # settle: composes feed passive samples, the probe loop feeds
+        # active ones; baselines lock after the estimator warm-up
+        for _ in range(HOT_WARMUP):
+            r = await cluster.compose(fresh_request(), confirm=False, timeout=120)
+            failures += 0 if r.success else 1
+        await asyncio.sleep(DEGRADE_PROBE_INTERVAL * 8)
+        before = plane.stats()["links"].get(neighbour, {})
+
+        t0 = time.perf_counter()
+        for _ in range(n):
+            r = await cluster.compose(fresh_request(), confirm=False, timeout=120)
+            failures += 0 if r.success else 1
+        healthy_wall = time.perf_counter() - t0
+
+        degraded[hot_link] = DEGRADE_FACTOR
+        t_deg = time.perf_counter()
+        reroute_s = None
+        converge_failures = 0
+        while time.perf_counter() - t_deg < DEGRADE_CONVERGE_TIMEOUT:
+            r = await cluster.compose(fresh_request(), confirm=False, timeout=120)
+            converge_failures += 0 if r.success else 1
+            if hot_link not in path_links(view.router.path(HOT_SOURCE, HOT_DEST)):
+                reroute_s = time.perf_counter() - t_deg
+                break
+            await asyncio.sleep(DEGRADE_PROBE_INTERVAL)
+
+        t1 = time.perf_counter()
+        for _ in range(n):
+            r = await cluster.compose(fresh_request(), confirm=False, timeout=120)
+            failures += 0 if r.success else 1
+        degraded_wall = time.perf_counter() - t1
+
+        stats = plane.stats()
+        after = stats["links"].get(neighbour, {})
+        errors = cluster.errors()
+
+    result.update(
+        {
+            "baseline_rtt_ms": round(before.get("baseline", 0.0) * 1e3, 3),
+            "converged_rtt_ms": round(after.get("srtt", 0.0) * 1e3, 3),
+            "converged_ratio": after.get("ratio", 0.0),
+            "rerouted": reroute_s is not None,
+            "reroute_s": round(reroute_s, 3) if reroute_s is not None else None,
+            "healthy_compose_per_sec": (
+                round(n / healthy_wall, 2) if healthy_wall > 0 else 0.0
+            ),
+            "degraded_compose_per_sec": (
+                round(n / degraded_wall, 2) if degraded_wall > 0 else 0.0
+            ),
+            "probes_sent": stats["probes_sent"],
+            "reprices": stats["reprices"],
+            "router_rebuilds": stats["router_rebuilds"],
+            "compose_failures": failures,
+            "converge_failures": converge_failures,
+            "daemon_errors": errors,
+        }
+    )
+    return result
 
 
 async def run_transport(params: BenchParams) -> Dict:
@@ -355,6 +526,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the hot-function (directory-tier) phase",
     )
     parser.add_argument(
+        "--no-degrade", dest="degrade", action="store_false", default=True,
+        help="skip the link-degradation (measurement-plane) phase",
+    )
+    parser.add_argument(
         "--record", action="store_true",
         help="append results to benchmarks/BENCH_live.json",
     )
@@ -446,6 +621,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"(hit rate {on['cache_hit_rate']:.1%})"
                 )
                 res["hot_function"] = hot
+
+        if args.degrade and args.distributed:
+            deg = asyncio.run(run_degradation(params, args.quick))
+            if deg:
+                res["degradation"] = deg
+                reroute = (
+                    f"rerouted in {deg['reroute_s']} s"
+                    if deg["rerouted"]
+                    else "did not reroute"
+                )
+                print(
+                    f"[{transport}] degradation: link {deg['degraded_link']} "
+                    f"x{deg['degrade_factor']:.0f} -> ratio "
+                    f"{deg['converged_ratio']}, {reroute}, "
+                    f"{deg['degraded_compose_per_sec']} compose/sec degraded "
+                    f"(healthy {deg['healthy_compose_per_sec']})"
+                )
+                if deg["daemon_errors"] or deg["compose_failures"]:
+                    print(
+                        f"[{transport}] degradation FAILURE: "
+                        f"errors={deg['daemon_errors']} "
+                        f"failed_composes={deg['compose_failures']}",
+                        file=sys.stderr,
+                    )
+                    status = max(status, 1)
 
     if args.record and results:
         record_entry(args.note, args.quick, results)

@@ -179,6 +179,22 @@ def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
         "--no-dir-cache routes every lookup (distributed mode only)",
     )
     sub.add_argument(
+        "--measure",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="topology measurement plane: active neighbour probing, "
+        "passive RTT sampling, adaptive routing (default); "
+        "--no-measure freezes routing on the static topology",
+    )
+    sub.add_argument(
+        "--probe-interval", type=float, default=None, metavar="SECONDS",
+        help="seconds between active probe cycles (0 = passive only)",
+    )
+    sub.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="max active probes per cycle per peer",
+    )
+    sub.add_argument(
         "--profile",
         action="store_true",
         help="time the boot/run/shutdown phases and print a breakdown",
@@ -262,8 +278,18 @@ def _run_one(
 
 
 def _build_cluster(args, trace: Optional[EventTrace]):
-    from .net import ClusterConfig, DirectoryTierConfig, LiveCluster
+    from .net import (
+        ClusterConfig,
+        DirectoryTierConfig,
+        LiveCluster,
+        MeasurementConfig,
+    )
 
+    measure_kwargs = {"enabled": args.measure}
+    if args.probe_interval is not None:
+        measure_kwargs["probe_interval"] = args.probe_interval
+    if args.probe_budget is not None:
+        measure_kwargs["probe_budget"] = args.probe_budget
     cfg = ClusterConfig(
         n_peers=args.peers,
         n_functions=args.functions,
@@ -274,6 +300,7 @@ def _build_cluster(args, trace: Optional[EventTrace]):
         wire_version=args.codec,
         coalesce_writes=args.coalesce,
         directory_tier=DirectoryTierConfig(enabled=args.dir_cache),
+        measurement=MeasurementConfig(**measure_kwargs),
     )
     return LiveCluster(cfg, trace=trace)
 
@@ -298,6 +325,27 @@ def _print_directory_stats(cluster) -> None:
         f"    cache hits {stats['cache_hits']} / misses {stats['cache_misses']} "
         f"(hit rate {stats['hit_rate']:.1%}), "
         f"neg hits {stats['neg_hits']}, replica serves {stats['replica_serves']}"
+    )
+
+
+def _print_measurement_stats(cluster) -> None:
+    stats = cluster.measurement_stats()
+    if not stats.get("enabled"):
+        return
+    print("  measurement:")
+    print(
+        f"    probes {stats['probes_sent']} sent / "
+        f"{stats['probe_failures']} failed, "
+        f"samples {stats['samples_active']} active + "
+        f"{stats['samples_passive']} passive"
+    )
+    down = stats["paths_down"]
+    n_down = sum(len(peers) for peers in down.values())
+    print(
+        f"    paths down {n_down} "
+        f"({stats['down_events']} down / {stats['up_events']} up events), "
+        f"reprices {stats['reprices']}, "
+        f"router rebuilds {stats['router_rebuilds']}"
     )
 
 
@@ -329,6 +377,7 @@ async def _serve(args, trace: Optional[EventTrace]) -> int:
     if args.profile:
         _print_phase_timer(timer)
         _print_directory_stats(cluster)
+        _print_measurement_stats(cluster)
     return 0
 
 
@@ -404,6 +453,7 @@ async def _compose_live(args, trace: Optional[EventTrace]) -> int:
     if args.profile:
         _print_phase_timer(timer)
         _print_directory_stats(cluster)
+        _print_measurement_stats(cluster)
     return 1 if failures else 0
 
 

@@ -149,14 +149,18 @@ class ResourcePool:
         self._vectorized = vectorized and hasattr(router, "link_indices")
         self._claims: Dict[Hashable, _Claim] = {}
 
-    def clone_empty(self) -> "ResourcePool":
+    def clone_empty(self, overlay: Optional[Overlay] = None) -> "ResourcePool":
         """A fresh pool over the same overlay and capacities, zero claims.
 
         Live distributed peers each own one: identical ground capacity,
         independent allocation state (``ResourceVector`` is frozen, so
-        sharing the capacity values is safe)."""
+        sharing the capacity values is safe).  ``overlay`` substitutes a
+        different *view* of the same topology (a peer's
+        :class:`~repro.net.measurement.MeasuredOverlayView`); it must
+        expose the same peers and canonical link order so the capacity
+        arrays stay aligned."""
         return ResourcePool(
-            self.overlay,
+            overlay if overlay is not None else self.overlay,
             dict(self._capacity),
             resource_types=self.resource_types,
             vectorized=self._vectorized,

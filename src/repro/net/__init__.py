@@ -25,6 +25,10 @@ Modules
 ``bloom``      the compact set summary piggybacked on lookup replies
 ``guard``      ``SharedStateGuard`` — seals shared registry/pool/DHT
                storage to prove distributed mode never reads them
+``measurement`` the topology measurement plane: active probing, passive
+               RTT sampling, per-link EWMA estimators, dead-path
+               detection, and the ``MeasuredOverlayView`` adaptive
+               routing feeds on
 ``accounting`` ``MessageLedger`` adapter mapping wire frames onto the
                simulation's overhead-accounting categories
 ``cluster``    boots N peers on localhost and composes end-to-end
@@ -46,8 +50,21 @@ from .bloom import BloomFilter
 from .cluster import ClusterConfig, LiveCluster
 from .directory import DirectorySlice, DirectoryTierConfig
 from .guard import SharedStateGuard, SharedStateViolation
+from .measurement import (
+    LinkEstimator,
+    MeasuredOverlayView,
+    MeasurementConfig,
+    MeasurementPlane,
+)
 from .peer import PeerDaemon
-from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError, RpcTimeout
+from .rpc import (
+    DedupCache,
+    RetryPolicy,
+    RpcEndpoint,
+    RpcError,
+    RpcFailure,
+    RpcTimeout,
+)
 from .transport import LoopbackTransport, TcpTransport, TransportError
 
 __all__ = [
@@ -66,9 +83,14 @@ __all__ = [
     "RetryPolicy",
     "RpcEndpoint",
     "RpcError",
+    "RpcFailure",
     "RpcTimeout",
     "DedupCache",
     "LedgerTap",
+    "LinkEstimator",
+    "MeasuredOverlayView",
+    "MeasurementConfig",
+    "MeasurementPlane",
     "PeerDaemon",
     "BloomFilter",
     "DirectorySlice",

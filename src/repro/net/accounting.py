@@ -22,6 +22,9 @@ cluster report the same books:
   a function key); the DHT *routing* cost of finding that owner still
   lands in ``dht_route``, charged per hop by
   :meth:`~repro.dht.pastry.PastryNetwork.route` exactly as in sim mode.
+  ``net_measure`` books the measurement plane's active ``PathProbe``
+  frames — the overhead budget of topology measurement, kept separate
+  so probe traffic never inflates the protocol-comparison categories.
 * **directory-tier counters** (``dir_cache_hit`` / ``dir_cache_miss`` /
   ``dir_neg_hit`` / ``dir_replica_serve`` / ``dir_replica_push``) audit
   the acceleration tier: every lookup the cache absorbs is a hit *and*
@@ -59,6 +62,9 @@ WIRE_CATEGORY = {
     codec.LookupRequest: "net_directory",
     codec.ReplicatePush: "net_directory",
     codec.ReplicaInvalidate: "net_directory",
+    # measurement plane: active probes are the only frames the plane
+    # originates (acks ride the generic response path as net_ack)
+    codec.PathProbe: "net_measure",
 }
 
 

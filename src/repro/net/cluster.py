@@ -44,9 +44,10 @@ from ..workload.scenarios import Scenario, simulation_testbed
 from .accounting import LedgerTap
 from .directory import DirectorySlice, DirectoryTierConfig
 from .guard import SharedStateGuard
+from .measurement import MeasuredOverlayView, MeasurementConfig, MeasurementPlane
 from .peer import PeerDaemon
 from .codec import WIRE_VERSION_BINARY
-from .rpc import RetryPolicy, RpcEndpoint
+from .rpc import RetryPolicy, RpcEndpoint, RpcFailure
 from .transport import LoopbackTransport, TcpTransport
 
 __all__ = ["ClusterConfig", "LiveCluster"]
@@ -82,6 +83,11 @@ class ClusterConfig:
     # tier's defaults (enabled); DirectoryTierConfig(enabled=False)
     # reproduces the pre-tier per-lookup routing exactly
     directory_tier: Optional[DirectoryTierConfig] = None
+    # topology measurement plane: None -> the plane's defaults (enabled:
+    # active probing + passive RTT + dead-path detection, with adaptive
+    # routing in distributed mode); MeasurementConfig(enabled=False)
+    # reproduces the pre-measurement behaviour exactly
+    measurement: Optional[MeasurementConfig] = None
     # wire fast path: preferred codec version (TCP negotiates down to
     # what the remote end speaks; 1 forces the JSON fallback everywhere)
     wire_version: int = WIRE_VERSION_BINARY
@@ -139,55 +145,93 @@ class LiveCluster:
         self.dir_tier = (
             (cfg.directory_tier or DirectoryTierConfig()) if self.distributed else None
         )
+        self.measure_cfg = cfg.measurement or MeasurementConfig()
         # distributed mode seals the shared registry/pool/DHT storage for
         # the cluster's lifetime: any read through them is a bug, and the
         # guard records it (then raises) instead of letting it pass
         self.shared_guard = SharedStateGuard() if self.distributed else None
-        ring = self.net.dht.ring_snapshot() if self.distributed else None
-        shared = self.net.bcp
+        self._ring = self.net.dht.ring_snapshot() if self.distributed else None
         self.daemons: Dict[int, PeerDaemon] = {}
         for peer in sorted(scenario.overlay.peers()):
-            endpoint = RpcEndpoint(
-                self.transport, peer, retry=cfg.control_retry, seed=cfg.seed + peer
+            self.daemons[peer] = self._build_daemon(peer)
+        self._started = False
+
+    def _build_daemon(self, peer: int) -> PeerDaemon:
+        """Wire one peer's endpoint, engine, and measurement plane."""
+        cfg = self.config
+        shared = self.net.bcp
+        endpoint = RpcEndpoint(
+            self.transport, peer, retry=cfg.control_retry, seed=cfg.seed + peer
+        )
+        measuring = self.measure_cfg.enabled
+        view: Optional[MeasuredOverlayView] = None
+        if self.distributed:
+            # each daemon owns its soft state: a private (empty) pool
+            # clone plus a private directory slice.  The registry
+            # reference stays wired for API symmetry but is sealed.
+            # With measurement on, the daemon's whole engine sits over
+            # its MeasuredOverlayView: until the plane installs a
+            # material delta the view delegates verbatim to the shared
+            # static overlay, so selections are unchanged by default.
+            overlay = shared.overlay
+            if measuring and self.measure_cfg.adapt_routing:
+                view = MeasuredOverlayView(shared.overlay)
+                overlay = view
+            bcp = BCP(
+                overlay,
+                shared.pool.clone_empty(overlay=overlay),
+                shared.registry,
+                config=shared.config,
+                ledger=shared.ledger,
+                peer_failure=shared.peer_failure,
+                alive=shared.alive,
+                rng=shared.rng,
+                trust=shared.trust,
+            )
+            directory: Optional[DirectorySlice] = DirectorySlice()
+        else:
+            bcp, directory = shared, None
+        plane: Optional[MeasurementPlane] = None
+        if measuring:
+            plane = MeasurementPlane(
+                peer,
+                shared.overlay,
+                endpoint,
+                self.measure_cfg,
+                view=view,
+                tap=self.tap,
+                trace=self.trace,
+                clock=self._clock,
             )
             if self.distributed:
-                # each daemon owns its soft state: a private (empty) pool
-                # clone plus a private directory slice.  The registry
-                # reference stays wired for API symmetry but is sealed.
-                bcp = BCP(
-                    shared.overlay,
-                    shared.pool.clone_empty(),
-                    shared.registry,
-                    config=shared.config,
-                    ledger=shared.ledger,
-                    peer_failure=shared.peer_failure,
-                    alive=shared.alive,
-                    rng=shared.rng,
-                    trust=shared.trust,
+                # candidates on downed paths are filtered at Step 2.3a
+                # (shared mode keeps one global BCP, which must not be
+                # narrowed by any single peer's connectivity)
+                base_alive = bcp.alive
+                bcp.alive = (
+                    lambda p, _alive=base_alive, _plane=plane: _alive(p)
+                    and not _plane.is_down(p)
                 )
-                directory: Optional[DirectorySlice] = DirectorySlice()
-            else:
-                bcp, directory = shared, None
-            self.daemons[peer] = PeerDaemon(
-                peer_id=peer,
-                bcp=bcp,
-                endpoint=endpoint,
-                peers=sorted(scenario.overlay.peers()),
-                counters=self._counters,
-                tap=self.tap,
-                trace=trace,
-                clock=self._clock,
-                soft_timeout=cfg.soft_timeout,
-                collect_wall_timeout=cfg.collect_wall_timeout,
-                probe_retry=cfg.probe_retry,
-                control_retry=cfg.control_retry,
-                maint_interval=cfg.maint_interval,
-                directory=directory,
-                ring=ring,
-                dht=self.net.dht,
-                dir_tier=self.dir_tier,
-            )
-        self._started = False
+        return PeerDaemon(
+            peer_id=peer,
+            bcp=bcp,
+            endpoint=endpoint,
+            peers=sorted(self.scenario.overlay.peers()),
+            counters=self._counters,
+            tap=self.tap,
+            trace=self.trace,
+            clock=self._clock,
+            soft_timeout=cfg.soft_timeout,
+            collect_wall_timeout=cfg.collect_wall_timeout,
+            probe_retry=cfg.probe_retry,
+            control_retry=cfg.control_retry,
+            maint_interval=cfg.maint_interval,
+            directory=directory,
+            ring=self._ring,
+            dht=self.net.dht,
+            dir_tier=self.dir_tier,
+            measurement=plane,
+        )
 
     # ------------------------------------------------------------------
     def _clock(self) -> float:
@@ -208,6 +252,11 @@ class LiveCluster:
             # itself be wire-only for the no-shared-reads proof to hold
             self.shared_guard.seal(self.net.registry, self.net.pool, self.net.dht)
             await self._populate_directory()
+        # active probing starts after the boot registration pass, so the
+        # first measured cycles see steady-state traffic
+        for daemon in self.daemons.values():
+            if daemon.measurement is not None:
+                daemon.measurement.start()
         self._started = True
         if self.trace is not None:
             self.trace.record(
@@ -336,6 +385,58 @@ class LiveCluster:
         if self.trace is not None:
             self.trace.record("peer_killed", time=self._clock(), peer=peer_id)
 
+    async def revive_peer(self, peer_id: int) -> None:
+        """Restart a killed peer: fresh endpoint incarnation, same engine.
+
+        The replacement daemon keeps the old one's engine state (pool,
+        directory slice, sessions are gone but capacity and stored rows
+        survive the crash-restart, like a process coming back on the same
+        host) while its RPC incarnation changes, so stale cached replies
+        from its previous life cannot be replayed at it.  The measurement
+        plane is rebound and wiped — a restarted process has no memory —
+        and neighbours' recovery probes mark the path back up."""
+        old = self.daemons.get(peer_id)
+        if old is None:
+            raise ValueError(f"no such peer {peer_id}")
+        if not self.transport.is_killed(peer_id):
+            raise RuntimeError(f"peer {peer_id} is not down")
+        self.transport.unregister(peer_id)
+        endpoint = RpcEndpoint(
+            self.transport,
+            peer_id,
+            retry=self.config.control_retry,
+            seed=self.config.seed + peer_id,
+        )
+        await self.transport.revive(peer_id)
+        plane = old.measurement
+        if plane is not None:
+            plane.rebind(endpoint)
+        daemon = PeerDaemon(
+            peer_id=peer_id,
+            bcp=old.bcp,
+            endpoint=endpoint,
+            peers=old.peers,
+            counters=self._counters,
+            tap=self.tap,
+            trace=self.trace,
+            clock=self._clock,
+            soft_timeout=self.config.soft_timeout,
+            collect_wall_timeout=self.config.collect_wall_timeout,
+            probe_retry=self.config.probe_retry,
+            control_retry=self.config.control_retry,
+            maint_interval=self.config.maint_interval,
+            directory=old.directory,
+            ring=self._ring,
+            dht=self.net.dht,
+            dir_tier=self.dir_tier,
+            measurement=plane,
+        )
+        self.daemons[peer_id] = daemon
+        if plane is not None and self._started:
+            plane.start()
+        if self.trace is not None:
+            self.trace.record("peer_revived", time=self._clock(), peer=peer_id)
+
     # ------------------------------------------------------------------
     # introspection (tests / CLI)
     # ------------------------------------------------------------------
@@ -359,9 +460,49 @@ class LiveCluster:
             out[peer] = sorted(daemon.bcp.pool.active_tokens(), key=repr)
         return out
 
-    def errors(self) -> List[str]:
-        """Daemon task failures — should be empty after a clean run."""
-        return [e for d in self.daemons.values() for e in d.errors]
+    def errors(self, include_rpc: bool = False) -> List[str]:
+        """Daemon task failures — should be empty after a clean run.
+
+        ``include_rpc=True`` appends the structured RPC retry-exhaustion
+        records (peer id, method, attempts) as formatted entries.  They
+        are opt-in because exhaustion against a dead peer is *expected*
+        failure-path behaviour, not a daemon bug; the raw records are
+        available from :meth:`rpc_failures`."""
+        out = [e for d in self.daemons.values() for e in d.errors]
+        if include_rpc:
+            out.extend(
+                f"rpc_exhausted peer={f.peer} method={f.method} "
+                f"attempts={f.attempts}: {f.error}"
+                for f in self.rpc_failures()
+            )
+        return out
+
+    def rpc_failures(self) -> List[RpcFailure]:
+        """Every RPC that exhausted its retries, across all daemons."""
+        return [f for d in self.daemons.values() for f in d.rpc_failures]
+
+    def measurement_stats(self) -> Dict[str, object]:
+        """Aggregate measurement-plane health across daemons."""
+        planes = [
+            d.measurement for d in self.daemons.values() if d.measurement is not None
+        ]
+        out: Dict[str, object] = {
+            "enabled": self.measure_cfg.enabled,
+            "probes_sent": sum(p.probes_sent for p in planes),
+            "probe_failures": sum(p.probe_failures for p in planes),
+            "samples_active": sum(p.samples_active for p in planes),
+            "samples_passive": sum(p.samples_passive for p in planes),
+            "down_events": sum(p.down_events for p in planes),
+            "up_events": sum(p.up_events for p in planes),
+            "reprices": sum(p.reprices for p in planes),
+            "router_rebuilds": sum(
+                p.view.rebuilds for p in planes if p.view is not None
+            ),
+            "paths_down": {
+                p.peer_id: p.down_paths for p in planes if p.down_paths
+            },
+        }
+        return out
 
     def directory_stats(self) -> Dict[str, object]:
         """Aggregate directory-tier health across daemons (distributed).

@@ -76,6 +76,8 @@ __all__ = [
     "LookupRequest",
     "ReplicatePush",
     "ReplicaInvalidate",
+    "PathProbe",
+    "ProbeAck",
 ]
 
 MAGIC = b"SN"
@@ -1312,6 +1314,35 @@ class ReplicaInvalidate:
 
     function: str
     version: int
+
+
+@_message
+@dataclass(frozen=True)
+class PathProbe:
+    """Measurement plane, prober → overlay neighbour: active RTT probe.
+
+    ``sent_at`` is the prober's monotonic clock at transmission, echoed
+    back in the :class:`ProbeAck` so the prober prices the round-trip
+    without keeping a pending-probe table; ``seq`` distinguishes probes
+    from one origin (and keeps retransmission dedup well-defined even
+    though probes never retry).  Charged to ``net_measure``."""
+
+    origin: int
+    seq: int
+    sent_at: float
+
+
+@_message
+@dataclass(frozen=True)
+class ProbeAck:
+    """Measurement plane, neighbour → prober: :class:`PathProbe` echo.
+
+    Travels inside the RPC response envelope (booked as ``net_ack``,
+    like every reply frame).  ``echo`` returns the probe's ``sent_at``
+    verbatim."""
+
+    seq: int
+    echo: float
 
 
 # ----------------------------------------------------------------------

@@ -184,6 +184,7 @@ class PeerDaemon:
         ring: Optional[RingSnapshot] = None,
         dht=None,
         dir_tier: Optional[DirectoryTierConfig] = None,
+        measurement=None,
     ) -> None:
         self.peer_id = peer_id
         self.bcp = bcp
@@ -204,8 +205,15 @@ class PeerDaemon:
         self.probe_retry = probe_retry or RetryPolicy(timeout=1.0, retries=2, backoff=0.05)
         self.control_retry = control_retry or RetryPolicy(timeout=1.0, retries=2, backoff=0.05)
         self.maint_interval = maint_interval
+        # measurement plane (None when measurement is disabled): fed by
+        # the endpoint's RTT/failure hooks, owner of the active prober
+        self.measurement = measurement
         self.stopped = False
         self.errors: List[str] = []
+        # structured retry-exhaustion records (RpcFailure) — expected
+        # failure-path data (dead peers), deliberately separate from
+        # ``errors``, which stays reserved for daemon *bugs*
+        self.rpc_failures: List = []
         self._tokens: Dict[int, Set[Tuple]] = {}  # rid -> soft tokens owned here
         self._confirmed: Dict[int, Set[Tuple]] = {}  # rid -> firm tokens owned here
         self._timers: Dict[Tuple[int, Tuple], asyncio.TimerHandle] = {}
@@ -248,6 +256,12 @@ class PeerDaemon:
         endpoint.on(codec.LookupRequest, self._on_lookup)
         endpoint.on(codec.ReplicatePush, self._on_replica_push)
         endpoint.on(codec.ReplicaInvalidate, self._on_replica_invalidate)
+        endpoint.on(codec.PathProbe, self._on_path_probe)
+        # passive measurement intake: every RPC round-trip feeds the
+        # plane, every retry exhaustion is recorded (and feeds dead-path
+        # detection) — see rpc.RpcEndpoint.on_rtt/on_failure
+        endpoint.on_rtt = self._on_rpc_rtt
+        endpoint.on_failure = self._on_rpc_failure
 
     # ------------------------------------------------------------------
     # plumbing
@@ -288,9 +302,32 @@ class PeerDaemon:
             self.errors.append(f"{type(exc).__name__}: {exc}")
             self._trace("daemon_error", error=f"{type(exc).__name__}: {exc}")
 
+    def _on_rpc_rtt(self, dst: int, rtt: float, method: str) -> None:
+        if self.measurement is not None:
+            self.measurement.record_rtt(dst, rtt, method)
+
+    def _on_rpc_failure(self, failure) -> None:
+        self.rpc_failures.append(failure)
+        self._trace(
+            "rpc_exhausted",
+            target=failure.peer,
+            method=failure.method,
+            attempts=failure.attempts,
+        )
+        if self.measurement is not None:
+            self.measurement.record_failure(failure.peer, failure.method)
+
+    async def _on_path_probe(self, src: int, msg: codec.PathProbe) -> Optional[dict]:
+        """Measurement echo: answer immediately (no daemon state touched)."""
+        if self.stopped:
+            return {"error": "stopped"}
+        return {"ack": codec.ProbeAck(seq=msg.seq, echo=msg.sent_at)}
+
     def stop(self) -> None:
         """Halt message processing and cancel timers/tasks (crash or teardown)."""
         self.stopped = True
+        if self.measurement is not None:
+            self.measurement.stop()
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()

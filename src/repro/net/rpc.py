@@ -31,7 +31,14 @@ from typing import Any, Awaitable, Callable, Dict, Hashable, Optional, Tuple, Ty
 from ..sim.rng import as_generator
 from .transport import TransportError
 
-__all__ = ["RpcError", "RpcTimeout", "RetryPolicy", "RpcEndpoint", "DedupCache"]
+__all__ = [
+    "RpcError",
+    "RpcTimeout",
+    "RpcFailure",
+    "RetryPolicy",
+    "RpcEndpoint",
+    "DedupCache",
+]
 
 
 class RpcError(RuntimeError):
@@ -40,6 +47,21 @@ class RpcError(RuntimeError):
 
 class RpcTimeout(RpcError):
     """All attempts of a call timed out or found the peer unreachable."""
+
+
+@dataclass(frozen=True)
+class RpcFailure:
+    """Structured record of a call that exhausted its retries.
+
+    Emitted through :attr:`RpcEndpoint.on_failure` just before the
+    :class:`RpcTimeout` raises, so failure scenarios (dead peers, lossy
+    links) are inspectable as data — per destination peer, message type
+    and attempt count — rather than only as stringified exceptions."""
+
+    peer: int  # destination peer id
+    method: str  # message class name
+    attempts: int
+    error: str
 
 
 @dataclass(frozen=True)
@@ -128,6 +150,14 @@ class RpcEndpoint:
         self._reply_cache = reply_cache
         self.calls_sent = 0
         self.retries_performed = 0
+        # measurement hooks (assigned by the daemon, never required):
+        # on_rtt(dst, rtt_seconds, method_name) fires for first-attempt
+        # successes only — Karn's algorithm: a retransmitted exchange's
+        # RTT is ambiguous, so retried calls are never sampled.
+        # on_failure(RpcFailure) fires once per call that exhausts its
+        # retries, just before RpcTimeout raises.
+        self.on_rtt: Optional[Callable[[int, float, str], None]] = None
+        self.on_failure: Optional[Callable[[RpcFailure], None]] = None
         transport.register(peer_id, self._on_envelope)
 
     def on(self, msg_type: Type, handler: Callable[[int, Any], Awaitable[Optional[dict]]]) -> None:
@@ -161,6 +191,7 @@ class RpcEndpoint:
                 await asyncio.sleep(delay)
             future: asyncio.Future = loop.create_future()
             self._pending[msg_id] = future
+            sent_at = loop.time()
             try:
                 await self.transport.send(self.peer_id, dst, envelope)
             except TransportError as exc:
@@ -168,11 +199,29 @@ class RpcEndpoint:
                 last_error = str(exc)
                 continue
             try:
-                return await asyncio.wait_for(future, policy.timeout)
+                reply = await asyncio.wait_for(future, policy.timeout)
             except asyncio.TimeoutError:
                 last_error = f"no reply within {policy.timeout}s"
+            else:
+                if attempt == 0 and self.on_rtt is not None:
+                    # the sample window opens before send(): queueing and
+                    # coalescing delays are genuine sojourn time the next
+                    # caller will also pay
+                    self.on_rtt(
+                        dst, loop.time() - sent_at, type(message).__name__
+                    )
+                return reply
             finally:
                 self._pending.pop(msg_id, None)
+        if self.on_failure is not None:
+            self.on_failure(
+                RpcFailure(
+                    peer=dst,
+                    method=type(message).__name__,
+                    attempts=policy.retries + 1,
+                    error=last_error,
+                )
+            )
         raise RpcTimeout(
             f"{type(message).__name__} {self.peer_id}->{dst} failed after "
             f"{policy.retries + 1} attempts: {last_error}"

@@ -79,6 +79,51 @@ class TransportError(RuntimeError):
     """Raised when a frame cannot be handed to the network at all."""
 
 
+class _DelayPump:
+    """One link's delayed-dispatch pump — the shared latency-emulation
+    engine of both transports.
+
+    Items are enqueued with a due time (``now + one-way delay``) and
+    handed to ``deliver`` in FIFO order once due: a burst entering the
+    link back-to-back shares one delay instead of serializing N sleeps,
+    and per-link ordering is preserved because due times on one pump are
+    monotone.  ``stop()`` drains what is already in flight and then ends
+    the task; ``cancel()`` abandons it immediately.
+    """
+
+    __slots__ = ("_deliver", "_queue", "task")
+
+    def __init__(self, deliver: Callable[[object], Awaitable[None]], name: str) -> None:
+        self._deliver = deliver
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self.task = asyncio.get_running_loop().create_task(self._run(), name=name)
+
+    def put(self, delay: float, item) -> None:
+        due = asyncio.get_running_loop().time() + max(0.0, delay)
+        self._queue.put_nowait((due, item))
+
+    def stop(self) -> None:
+        self._queue.put_nowait(None)
+
+    def cancel(self) -> None:
+        self.task.cancel()
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                item = await self._queue.get()
+                if item is None:
+                    break
+                due, payload = item
+                now = loop.time()
+                if due > now:
+                    await asyncio.sleep(due - now)
+                await self._deliver(payload)
+        except asyncio.CancelledError:
+            pass  # transport teardown
+
+
 class _BaseTransport:
     def __init__(self, tap: Optional[Tap] = None) -> None:
         self._handlers: Dict[int, Handler] = {}
@@ -102,6 +147,14 @@ class _BaseTransport:
     def kill(self, peer_id: int) -> None:
         """Simulate a peer crash: it neither receives nor sends frames."""
         self._killed.add(peer_id)
+
+    async def revive(self, peer_id: int) -> None:
+        """Undo :meth:`kill`: the peer sends and receives again.
+
+        A replacement endpoint should ``register`` under the id first
+        (which also clears the killed flag); subclasses additionally
+        restore whatever :meth:`kill` tore down (e.g. a TCP listener)."""
+        self._killed.discard(peer_id)
 
     def is_killed(self, peer_id: int) -> bool:
         return peer_id in self._killed
@@ -159,6 +212,8 @@ class LoopbackTransport(_BaseTransport):
         self._queues: Dict[int, asyncio.Queue] = {}
         self._pending: Dict[int, List[bytes]] = {}
         self._dispatchers: List[asyncio.Task] = []
+        # latency emulation: one _DelayPump per active (src, dst) link
+        self._pumps: Dict[Tuple[int, int], _DelayPump] = {}
         self._started = False
 
     async def start(self) -> None:
@@ -172,14 +227,16 @@ class LoopbackTransport(_BaseTransport):
         self._started = True
 
     async def close(self) -> None:
-        for task in self._dispatchers:
+        tasks = list(self._dispatchers) + [p.task for p in self._pumps.values()]
+        for task in tasks:
             task.cancel()
-        for task in self._dispatchers:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
         self._dispatchers.clear()
+        self._pumps.clear()
         self._pending.clear()
         self._started = False
 
@@ -198,7 +255,7 @@ class LoopbackTransport(_BaseTransport):
             return  # the void acknowledges nothing
         delay = self._latency(src, dst)
         if delay > 0:
-            asyncio.get_running_loop().call_later(delay, queue.put_nowait, frame)
+            self._link_pump(src, dst).put(delay, frame)
         elif self.coalesce:
             batch = self._pending.get(dst)
             if batch is None:
@@ -212,6 +269,20 @@ class LoopbackTransport(_BaseTransport):
         batch = self._pending.pop(dst, None)
         if batch:
             self._queues[dst].put_nowait(batch)
+
+    def _link_pump(self, src: int, dst: int) -> _DelayPump:
+        key = (src, dst)
+        pump = self._pumps.get(key)
+        if pump is None:
+            queue = self._queues[dst]
+
+            async def deliver(frame: bytes, _queue=queue) -> None:
+                _queue.put_nowait(frame)  # kill is re-checked at dispatch
+
+            pump = self._pumps[key] = _DelayPump(
+                deliver, name=f"loopback-delay-{src}-{dst}"
+            )
+        return pump
 
     async def _dispatch(self, peer_id: int) -> None:
         queue = self._queues[peer_id]
@@ -309,15 +380,17 @@ class TcpTransport(_BaseTransport):
 
     async def start(self) -> None:
         for peer_id in self._handlers:
-            if peer_id in self._servers:
-                continue
-            port = 0 if self.port_base is None else self.port_base + peer_id
-            server = await asyncio.start_server(
-                lambda r, w, p=peer_id: self._serve(p, r, w), self.host, port
-            )
-            self._servers[peer_id] = server
-            self.addresses[peer_id] = server.sockets[0].getsockname()[:2]
+            if peer_id not in self._servers:
+                await self._listen(peer_id)
         self._started = True
+
+    async def _listen(self, peer_id: int) -> None:
+        port = 0 if self.port_base is None else self.port_base + peer_id
+        server = await asyncio.start_server(
+            lambda r, w, p=peer_id: self._serve(p, r, w), self.host, port
+        )
+        self._servers[peer_id] = server
+        self.addresses[peer_id] = server.sockets[0].getsockname()[:2]
 
     async def close(self) -> None:
         for server in self._servers.values():
@@ -348,6 +421,14 @@ class TcpTransport(_BaseTransport):
             w.close()
         for key in [k for k in self._pool if peer_id in k]:
             self._teardown_conn(self._pool.pop(key))
+
+    async def revive(self, peer_id: int) -> None:
+        """Restart a killed peer's listener (possibly on a new OS port —
+        dialers re-read :attr:`addresses`, and every pooled connection
+        involving the peer was torn down at kill time)."""
+        await super().revive(peer_id)
+        if self._started and peer_id not in self._servers:
+            await self._listen(peer_id)
 
     def _teardown_conn(self, conn: _Conn) -> None:
         if conn.flusher is not None:
@@ -467,17 +548,21 @@ class TcpTransport(_BaseTransport):
             self._conn_tasks.add(task)
         self._accepted.setdefault(peer_id, []).append(writer)
         frames = FrameReader()
-        # with latency emulation, frames go through a per-connection pump
-        # that releases each one at arrival_time + delay: FIFO per link,
-        # and a burst shares one delay instead of serializing N sleeps
-        pump_queue: Optional[asyncio.Queue] = None
-        pump_task: Optional[asyncio.Task] = None
+        # with latency emulation, frames go through a per-connection
+        # _DelayPump that releases each one at arrival_time + delay
+        pump: Optional[_DelayPump] = None
         if self._delay_inbound:
-            pump_queue = asyncio.Queue()
-            pump_task = asyncio.get_running_loop().create_task(
-                self._pump(peer_id, pump_queue), name=f"tcp-delay-{peer_id}"
-            )
-            self._conn_tasks.add(pump_task)
+
+            async def deliver(envelope: dict) -> None:
+                if peer_id in self._killed:
+                    return
+                handler = self._handlers.get(peer_id)
+                if handler is not None:
+                    await handler(envelope)
+
+            pump = _DelayPump(deliver, name=f"tcp-delay-{peer_id}")
+            self._conn_tasks.add(pump.task)
+            pump.task.add_done_callback(self._conn_tasks.discard)
         try:
             while True:
                 chunk = await reader.read(65536)
@@ -496,12 +581,9 @@ class TcpTransport(_BaseTransport):
                         continue
                     if peer_id in self._killed:
                         return
-                    if pump_queue is not None:
+                    if pump is not None:
                         src = envelope.get("src", peer_id)
-                        due = asyncio.get_running_loop().time() + max(
-                            0.0, self._latency(src, peer_id)
-                        )
-                        pump_queue.put_nowait((due, envelope))
+                        pump.put(self._latency(src, peer_id), envelope)
                         continue
                     handler = self._handlers.get(peer_id)
                     if handler is not None:
@@ -513,33 +595,9 @@ class TcpTransport(_BaseTransport):
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
-            if pump_queue is not None:
-                pump_queue.put_nowait(None)  # drain what's in flight, then stop
+            if pump is not None:
+                pump.stop()  # drain what's in flight, then stop
             writer.close()
             accepted = self._accepted.get(peer_id)
             if accepted and writer in accepted:
                 accepted.remove(writer)
-
-    async def _pump(self, peer_id: int, queue: asyncio.Queue) -> None:
-        """Deliver delayed inbound frames once their due time arrives."""
-        loop = asyncio.get_running_loop()
-        try:
-            while True:
-                item = await queue.get()
-                if item is None:
-                    break
-                due, envelope = item
-                now = loop.time()
-                if due > now:
-                    await asyncio.sleep(due - now)
-                if peer_id in self._killed:
-                    continue
-                handler = self._handlers.get(peer_id)
-                if handler is not None:
-                    await handler(envelope)
-        except asyncio.CancelledError:
-            pass  # transport teardown
-        finally:
-            current = asyncio.current_task()
-            if current is not None:
-                self._conn_tasks.discard(current)

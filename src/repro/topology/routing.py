@@ -26,9 +26,20 @@ __all__ = ["IPRouter", "OverlayRouter", "graph_to_sparse"]
 
 
 def graph_to_sparse(
-    g: nx.Graph, weight: str = "delay", nodelist: Optional[Sequence[int]] = None
+    g: nx.Graph,
+    weight: str = "delay",
+    nodelist: Optional[Sequence[int]] = None,
+    overrides: Optional[Dict[Tuple[int, int], float]] = None,
 ) -> Tuple[csr_matrix, List[int]]:
-    """Convert a networkx graph to a CSR adjacency matrix of ``weight``."""
+    """Convert a networkx graph to a CSR adjacency matrix of ``weight``.
+
+    ``overrides`` substitutes weights for individual edges, keyed by the
+    canonical ``tuple(sorted((u, v)))`` link.  An override of ``inf``
+    effectively removes the edge from shortest-path computation (scipy's
+    ``dijkstra`` never relaxes through a non-finite weight) while keeping
+    the edge *present*, so edge iteration order — and every array indexed
+    by it — is unchanged.
+    """
     nodelist = list(g.nodes) if nodelist is None else list(nodelist)
     index = {v: i for i, v in enumerate(nodelist)}
     rows, cols, vals = [], [], []
@@ -36,6 +47,10 @@ def graph_to_sparse(
         if u not in index or v not in index:
             continue
         w = float(data[weight])
+        if overrides:
+            w = overrides.get((u, v) if u < v else (v, u), w)
+        if not np.isfinite(w):
+            continue  # csr stores explicit values; omit the edge instead
         rows.extend((index[u], index[v]))
         cols.extend((index[v], index[u]))
         vals.extend((w, w))
@@ -109,9 +124,17 @@ class OverlayRouter:
     invalidation hook for the rare callers that rebuild routing state.
     """
 
-    def __init__(self, overlay_graph: nx.Graph, cache_paths: bool = True) -> None:
+    def __init__(
+        self,
+        overlay_graph: nx.Graph,
+        cache_paths: bool = True,
+        delay_overrides: Optional[Dict[Tuple[int, int], float]] = None,
+    ) -> None:
         self.graph = overlay_graph
-        self._matrix, self._nodelist = graph_to_sparse(overlay_graph, "delay")
+        self._overrides = dict(delay_overrides) if delay_overrides else {}
+        self._matrix, self._nodelist = graph_to_sparse(
+            overlay_graph, "delay", overrides=self._overrides or None
+        )
         self._index = {v: i for i, v in enumerate(self._nodelist)}
         self._dist, self._pred = dijkstra(
             self._matrix, directed=False, return_predecessors=True
@@ -150,6 +173,27 @@ class OverlayRouter:
     def index_of(self, peer: int) -> int:
         """Matrix row/column of a peer (for delay-matrix lookups)."""
         return self._index[peer]
+
+    def link_delay(self, u: int, v: int) -> float:
+        """Effective one-hop weight of an overlay edge (override-aware)."""
+        link = (u, v) if u < v else (v, u)
+        hit = self._overrides.get(link)
+        if hit is not None:
+            return hit
+        return float(self.graph.edges[link]["delay"])
+
+    def reweighted(self, overrides: Dict[Tuple[int, int], float]) -> "OverlayRouter":
+        """A fresh router over the *same* graph with some link delays
+        replaced (canonical-link keyed; ``inf`` prices a link out of every
+        shortest path without removing the edge).
+
+        Because the graph object — and therefore its edge iteration
+        order — is shared, the new router's :attr:`link_order` is
+        identical to this one's, so capacity/usage arrays indexed by it
+        (:class:`~repro.core.resources.ResourcePool`) remain valid."""
+        return OverlayRouter(
+            self.graph, cache_paths=self._cache_enabled, delay_overrides=overrides
+        )
 
     def set_path_cache(self, enabled: bool) -> None:
         """Toggle path memoization (A/B tests); always clears the cache."""

@@ -29,7 +29,12 @@ import asyncio
 import pytest
 
 from repro.core.bcp import BCPConfig, NextHopWeights
-from repro.net import ClusterConfig, DirectoryTierConfig, LiveCluster
+from repro.net import (
+    ClusterConfig,
+    DirectoryTierConfig,
+    LiveCluster,
+    MeasurementConfig,
+)
 from repro.net.rpc import RetryPolicy
 
 
@@ -134,6 +139,11 @@ def test_wire_options_change_frames_not_logical_messages():
     # hot_threshold=0 disables the popularity fan-out, whose wall-clock
     # EWMA makes push counts timing-dependent; the cache hit/miss books
     # are deterministic (one miss + N-1 hits per (daemon, function)).
+    # Measurement is pinned off for the same reason: how many active
+    # probe cycles fire during a pass is wall-clock-dependent, and this
+    # test asserts *full-dict* count equality.  (The selection-parity
+    # matrix above runs with measurement on — its default — which is
+    # what proves the plane never perturbs choices.)
     shared = {}
     tier = DirectoryTierConfig(hot_threshold=0.0)
 
@@ -145,6 +155,7 @@ def test_wire_options_change_frames_not_logical_messages():
                     wire_version=wire_version,
                     coalesce_writes=coalesce,
                     directory_tier=tier,
+                    measurement=MeasurementConfig(enabled=False),
                 ),
                 scenario=shared.get("scenario"),
             )
