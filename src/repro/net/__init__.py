@@ -32,9 +32,15 @@ Modules
 ``accounting`` ``MessageLedger`` adapter mapping wire frames onto the
                simulation's overhead-accounting categories
 ``cluster``    boots N peers on localhost and composes end-to-end
+``admission``  per-peer overload survival: session admission with fast
+               ``Busy`` rejection, probe shedding/degradation, RPC
+               throttling
+``scaleout``   multi-process launcher + open-loop load driver
+               (``python -m repro cluster``)
 """
 
 from .accounting import LedgerTap
+from .admission import AdmissionConfig, LoadGuard
 from .codec import (
     CodecError,
     FrameReader,
@@ -57,6 +63,14 @@ from .measurement import (
     MeasurementPlane,
 )
 from .peer import PeerDaemon
+from .scaleout import (
+    LoadDriver,
+    RequestRecord,
+    ScaleoutConfig,
+    ScaleoutController,
+    run_scaleout,
+    summarize_records,
+)
 from .rpc import (
     DedupCache,
     RetryPolicy,
@@ -99,4 +113,12 @@ __all__ = [
     "SharedStateViolation",
     "ClusterConfig",
     "LiveCluster",
+    "AdmissionConfig",
+    "LoadGuard",
+    "LoadDriver",
+    "RequestRecord",
+    "ScaleoutConfig",
+    "ScaleoutController",
+    "run_scaleout",
+    "summarize_records",
 ]

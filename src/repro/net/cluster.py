@@ -35,13 +35,14 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from ..core.bcp import BCP, BCPConfig, CompositionResult
 from ..core.request import CompositeRequest
 from ..workload.generator import RequestConfig
 from ..workload.scenarios import Scenario, simulation_testbed
 from .accounting import LedgerTap
+from .admission import AdmissionConfig, LoadGuard
 from .directory import DirectorySlice, DirectoryTierConfig
 from .guard import SharedStateGuard
 from .measurement import MeasuredOverlayView, MeasurementConfig, MeasurementPlane
@@ -94,6 +95,17 @@ class ClusterConfig:
     # batch frames per connection, one drain() per flush window
     coalesce_writes: bool = True
     flush_interval: float = 0.0  # tcp: extra dally per flush window (s)
+    # per-peer overload survival (admission + shedding + RPC throttle):
+    # None -> no guard at all; AdmissionConfig(enabled=False) -> guard
+    # present but observing only.  Either way the protocol behaviour is
+    # identical to the pre-admission build until a limit is exceeded.
+    admission: Optional[AdmissionConfig] = None
+    # scale-out sharding: the subset of overlay peers hosted by THIS
+    # process (None = host all of them, the single-process default).
+    # A proper subset requires distributed mode plus tcp + port_base,
+    # so remote peers sit at computable (host, port_base + peer)
+    # addresses in sibling processes.
+    hosted: Optional[Tuple[int, ...]] = None
 
 
 class LiveCluster:
@@ -151,9 +163,37 @@ class LiveCluster:
         # guard records it (then raises) instead of letting it pass
         self.shared_guard = SharedStateGuard() if self.distributed else None
         self._ring = self.net.dht.ring_snapshot() if self.distributed else None
+        all_peers = sorted(scenario.overlay.peers())
+        if cfg.hosted is None:
+            hosted = all_peers
+        else:
+            hosted = sorted({int(p) for p in cfg.hosted})
+            unknown = [p for p in hosted if p not in set(all_peers)]
+            if unknown:
+                raise ValueError(f"hosted peers not in the overlay: {unknown}")
+            if set(hosted) != set(all_peers):
+                if not cfg.distributed:
+                    raise ValueError("hosted shards require distributed mode")
+                if cfg.transport != "tcp" or cfg.port_base is None:
+                    raise ValueError(
+                        "hosted shards require transport='tcp' with port_base "
+                        "set, so sibling processes' peers have computable "
+                        "addresses"
+                    )
+        self.hosted: Tuple[int, ...] = tuple(hosted)
         self.daemons: Dict[int, PeerDaemon] = {}
-        for peer in sorted(scenario.overlay.peers()):
+        for peer in hosted:
             self.daemons[peer] = self._build_daemon(peer)
+        if set(hosted) != set(all_peers):
+            # every non-hosted peer lives in a sibling process at a
+            # deterministic address; dialers read this table directly
+            assert isinstance(self.transport, TcpTransport)
+            for peer in all_peers:
+                if peer not in self.daemons:
+                    self.transport.addresses.setdefault(
+                        peer, (self.transport.host, cfg.port_base + peer)
+                    )
+        self._compose_tasks: Set[asyncio.Task] = set()
         self._started = False
 
     def _build_daemon(self, peer: int) -> PeerDaemon:
@@ -161,7 +201,11 @@ class LiveCluster:
         cfg = self.config
         shared = self.net.bcp
         endpoint = RpcEndpoint(
-            self.transport, peer, retry=cfg.control_retry, seed=cfg.seed + peer
+            self.transport,
+            peer,
+            retry=cfg.control_retry,
+            seed=cfg.seed + peer,
+            inflight_limit=self._rpc_inflight_limit(),
         )
         measuring = self.measure_cfg.enabled
         view: Optional[MeasuredOverlayView] = None
@@ -231,7 +275,18 @@ class LiveCluster:
             dht=self.net.dht,
             dir_tier=self.dir_tier,
             measurement=plane,
+            guard=self._make_guard(),
         )
+
+    def _make_guard(self) -> Optional[LoadGuard]:
+        """A fresh per-daemon guard (admission state is process-local)."""
+        if self.config.admission is None:
+            return None
+        return LoadGuard(self.config.admission)
+
+    def _rpc_inflight_limit(self) -> int:
+        adm = self.config.admission
+        return adm.rpc_max_inflight if adm is not None and adm.enabled else 0
 
     # ------------------------------------------------------------------
     def _clock(self) -> float:
@@ -245,8 +300,20 @@ class LiveCluster:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "LiveCluster":
+        await self.start_transport()
+        return await self.activate()
+
+    async def start_transport(self) -> "LiveCluster":
+        """Boot phase 1: bind the transport (TCP listeners come up, no
+        frame is sent).  Split out so a multi-process launch can bring
+        every shard's listeners up before any shard starts registering —
+        boot registration is DHT-routed and may land on any process."""
         self._t0 = time.monotonic()
         await self.transport.start()
+        return self
+
+    async def activate(self) -> "LiveCluster":
+        """Boot phase 2: seal shared state, register components, probe."""
         if self.shared_guard is not None:
             # seal *before* populating the directory: registration must
             # itself be wire-only for the no-shared-reads proof to hold
@@ -275,7 +342,8 @@ class LiveCluster:
         immaterial."""
         by_peer: Dict[int, list] = {}
         for spec in self.scenario.population:
-            by_peer.setdefault(spec.peer, []).append(spec)
+            if spec.peer in self.daemons:  # hosted shard registers its own
+                by_peer.setdefault(spec.peer, []).append(spec)
         await asyncio.gather(
             *(
                 self.daemons[peer].register_components(by_peer[peer], now=0.0)
@@ -283,7 +351,34 @@ class LiveCluster:
             )
         )
 
-    async def stop(self) -> None:
+    async def stop(self, grace: float = 0.1) -> None:
+        """Tear the cluster down in dependency order.
+
+        1. Measurement planes stop first — a probe fired after its
+           daemon stopped would book a spurious failure.
+        2. Pending compose sessions are aborted (their futures resolve
+           to structured failures) and in-flight :meth:`compose` tasks
+           get ``grace`` seconds to observe that before being cancelled.
+        3. Daemons stop: wall/expiry timers cancelled, spawned protocol
+           tasks drained.
+        4. The transport closes last, so every step above may still use
+           the wire.  Idempotent: a second ``stop()`` is a no-op.
+        """
+        if not self._started:
+            return
+        self._started = False  # reject new composes while tearing down
+        for daemon in self.daemons.values():
+            if daemon.measurement is not None:
+                daemon.measurement.stop()
+        for daemon in self.daemons.values():
+            daemon.abort_pending("cluster stopping")
+        tasks = [t for t in self._compose_tasks if not t.done()]
+        if tasks:
+            _, pending = await asyncio.wait(tasks, timeout=grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
         for daemon in self.daemons.values():
             daemon.stop()
         for daemon in self.daemons.values():
@@ -291,7 +386,6 @@ class LiveCluster:
         await self.transport.close()
         if self.shared_guard is not None:
             self.shared_guard.unseal()
-        self._started = False
         if self.trace is not None:
             self.trace.record("cluster_stopped", time=self._clock())
 
@@ -317,9 +411,22 @@ class LiveCluster:
         daemon = self.daemons.get(request.source_peer)
         if daemon is None:
             raise ValueError(f"no daemon hosts source peer {request.source_peer}")
-        return await daemon.start_compose(
-            request, budget=budget, confirm=confirm, timeout=timeout
+        task = asyncio.ensure_future(
+            daemon.start_compose(request, budget=budget, confirm=confirm, timeout=timeout)
         )
+        self._compose_tasks.add(task)
+        task.add_done_callback(self._compose_tasks.discard)
+        try:
+            return await asyncio.shield(task)
+        except asyncio.CancelledError:
+            if task.cancelled():
+                # stop() tore the session down mid-flight: hand the
+                # caller a structured failure, not a CancelledError
+                result = CompositionResult(request=request, success=False)
+                result.failure_reason = "cluster stopped"
+                return result
+            task.cancel()  # the *caller* was cancelled: propagate inward
+            raise
 
     async def compose_many(
         self,
@@ -381,6 +488,9 @@ class LiveCluster:
         if peer_id not in self.daemons:
             raise ValueError(f"no such peer {peer_id}")
         self.daemons[peer_id].stop()
+        # sessions the dead peer itself was sourcing can never finish;
+        # resolve them now so their callers fail fast instead of timing out
+        self.daemons[peer_id].abort_pending("peer killed")
         self.transport.kill(peer_id)
         if self.trace is not None:
             self.trace.record("peer_killed", time=self._clock(), peer=peer_id)
@@ -406,6 +516,7 @@ class LiveCluster:
             peer_id,
             retry=self.config.control_retry,
             seed=self.config.seed + peer_id,
+            inflight_limit=self._rpc_inflight_limit(),
         )
         await self.transport.revive(peer_id)
         plane = old.measurement
@@ -430,6 +541,7 @@ class LiveCluster:
             dht=self.net.dht,
             dir_tier=self.dir_tier,
             measurement=plane,
+            guard=self._make_guard(),  # fresh: a restarted process forgets
         )
         self.daemons[peer_id] = daemon
         if plane is not None and self._started:
@@ -528,6 +640,20 @@ class LiveCluster:
         out["directory_serves"] = sum(s["serves"] for s in slices.values())
         out["directory_rows"] = sum(s["rows"] for s in slices.values())
         return out
+
+    def admission_stats(self) -> Dict[str, object]:
+        """Aggregate load-guard books across this process's daemons."""
+        guards = [d.guard for d in self.daemons.values() if d.guard is not None]
+        return {
+            "enabled": any(g.config.enabled for g in guards),
+            "sessions_admitted": sum(g.sessions_admitted for g in guards),
+            "sessions_rejected": sum(g.sessions_rejected for g in guards),
+            "sessions_inflight": sum(g.sessions_inflight for g in guards),
+            "sessions_peak": max((g.sessions_peak for g in guards), default=0),
+            "probes_shed": sum(g.probes_shed for g in guards),
+            "budget_degrades": sum(g.budget_degrades for g in guards),
+            "probes_peak": max((g.probes_peak for g in guards), default=0),
+        }
 
     def rpc_stats(self) -> Dict[str, int]:
         calls = sum(d.endpoint.calls_sent for d in self.daemons.values())

@@ -70,6 +70,7 @@ __all__ = [
     "SessionConfirm",
     "SessionRelease",
     "ComposeResult",
+    "Busy",
     "MaintenancePing",
     "RegisterComponent",
     "RegisterBatch",
@@ -1224,6 +1225,23 @@ class ComposeResult:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "session_tokens", _tokens_tuple(self.session_tokens))
+
+
+@_message
+@dataclass(frozen=True)
+class Busy:
+    """Destination → source, inside the :class:`ComposeBegin` reply:
+    the request was refused by admission control.
+
+    Never a request frame of its own — it rides the begin RPC's response
+    envelope (booked as ``net_ack``), so a shed request learns its fate
+    in exactly one round trip and holds no state anywhere.  ``reason``
+    names the exhausted limit (``"sessions"``), ``inflight`` the
+    refusing peer's concurrent load at rejection time."""
+
+    request_id: int
+    reason: str
+    inflight: int
 
 
 @_message

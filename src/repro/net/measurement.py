@@ -472,10 +472,15 @@ class MeasurementPlane:
             # the wire tap books the frame itself under ``net_measure``
             t0 = loop.time()
             try:
+                # ignore_down: recovery probes are exactly the calls that
+                # must still reach a marked-down peer — with the RPC
+                # layer's peer_down fail-fast applied here, a downed path
+                # could never be observed coming back up
                 await self.endpoint.call(
                     target,
                     codec.PathProbe(origin=self.peer_id, seq=self._seq, sent_at=t0),
                     retry=self._probe_retry,
+                    ignore_down=True,
                 )
             except RpcError:
                 # the endpoint's on_failure hook already routed this into

@@ -81,6 +81,7 @@ from ..discovery.metadata import ServiceMetadata
 from ..services.component import ComponentSpec
 from . import codec
 from .accounting import LedgerTap
+from .admission import LoadGuard
 from .bloom import BloomFilter
 from .directory import DirectorySlice, DirectoryTierConfig
 from .rpc import DedupCache, RetryPolicy, RpcEndpoint, RpcError
@@ -185,6 +186,7 @@ class PeerDaemon:
         dht=None,
         dir_tier: Optional[DirectoryTierConfig] = None,
         measurement=None,
+        guard: Optional[LoadGuard] = None,
     ) -> None:
         self.peer_id = peer_id
         self.bcp = bcp
@@ -208,6 +210,8 @@ class PeerDaemon:
         # measurement plane (None when measurement is disabled): fed by
         # the endpoint's RTT/failure hooks, owner of the active prober
         self.measurement = measurement
+        # admission control (None = pre-admission behaviour, bit-exact)
+        self.guard = guard
         self.stopped = False
         self.errors: List[str] = []
         # structured retry-exhaustion records (RpcFailure) — expected
@@ -262,6 +266,9 @@ class PeerDaemon:
         # detection) — see rpc.RpcEndpoint.on_rtt/on_failure
         endpoint.on_rtt = self._on_rpc_rtt
         endpoint.on_failure = self._on_rpc_failure
+        # fail-fast: calls to a peer the transport killed (or the plane
+        # marked down) abort instead of burning the retry/timeout budget
+        endpoint.peer_down = self._peer_down
 
     # ------------------------------------------------------------------
     # plumbing
@@ -307,6 +314,11 @@ class PeerDaemon:
             self.measurement.record_rtt(dst, rtt, method)
 
     def _on_rpc_failure(self, failure) -> None:
+        if self.stopped:
+            # teardown noise: a daemon being shut down mid-exchange is
+            # not a peer observing a failure — recording it would make
+            # every clean cluster stop look like an incident
+            return
         self.rpc_failures.append(failure)
         self._trace(
             "rpc_exhausted",
@@ -316,6 +328,21 @@ class PeerDaemon:
         )
         if self.measurement is not None:
             self.measurement.record_failure(failure.peer, failure.method)
+
+    def _peer_down(self, dst: int) -> bool:
+        """RPC-layer fail-fast predicate: is ``dst`` known unreachable?
+
+        Combines the transport's kill switch (authoritative within a
+        process: a killed peer *cannot* answer) with the measurement
+        plane's dead-path verdict (``down_after`` consecutive exhausted
+        exchanges).  Both only ever short-circuit calls that were going
+        to exhaust their retries anyway — outcomes are unchanged, the
+        per-hop timeout burn is not.  Measurement recovery probes bypass
+        this via ``ignore_down`` so down paths can still be re-proved."""
+        transport = self.endpoint.transport
+        if transport.is_killed(dst):
+            return True
+        return self.measurement is not None and self.measurement.is_down(dst)
 
     async def _on_path_probe(self, src: int, msg: codec.PathProbe) -> Optional[dict]:
         """Measurement echo: answer immediately (no daemon state touched)."""
@@ -344,6 +371,29 @@ class PeerDaemon:
         tasks = [t for t in self._tasks if not t.done()]
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+
+    def abort_pending(self, reason: str = "aborted") -> None:
+        """Resolve every in-flight ``start_compose`` with a failed result.
+
+        The orderly-shutdown half of the teardown contract: callers
+        blocked in :meth:`start_compose` get a structured failure
+        (``failure_reason=reason``) instead of waiting out wall timeouts
+        against a cluster that is being dismantled under them."""
+        for rid, future in list(self._pending_results.items()):
+            if not future.done():
+                future.set_result(
+                    codec.ComposeResult(
+                        request_id=rid,
+                        success=False,
+                        graph=None,
+                        qos=None,
+                        cost=math.inf,
+                        failure_reason=reason,
+                        probes_sent=0,
+                        candidates_examined=0,
+                        setup_time=0.0,
+                    )
+                )
 
     # ------------------------------------------------------------------
     # soft-state timers
@@ -395,9 +445,24 @@ class PeerDaemon:
         self._pending_results[rid] = future
         self._trace("compose_started", request=rid, dest=request.dest_peer, budget=beta)
         try:
-            await self.endpoint.call(
+            reply = await self.endpoint.call(
                 request.dest_peer, codec.ComposeBegin(rid, request, beta, confirm)
             )
+            busy = reply.get("busy") if isinstance(reply, dict) else None
+            if isinstance(busy, codec.Busy):
+                # admission refused the window in the begin reply itself:
+                # one round trip, no probes sent, no reservation anywhere
+                # — there is nothing to release and nothing to await
+                self._trace(
+                    "compose_rejected", request=rid,
+                    reason=busy.reason, inflight=busy.inflight,
+                )
+                result = CompositionResult(request=request, success=False)
+                result.failure_reason = (
+                    f"busy: destination shed the request "
+                    f"({busy.reason} limit, {busy.inflight} in flight)"
+                )
+                return result
             root = Probe.initial(request, beta)
             await self._expand_probe(root, Fraction(1), rid)
             wall = timeout if timeout is not None else self.collect_wall_timeout + 30.0
@@ -452,7 +517,13 @@ class PeerDaemon:
             (fn, cfg.quota_policy(fn, len(comps)), is_dep)
             for (fn, _, _, is_dep), comps in zip(candidates, lookups)
         ]
-        shares = split_budget(probe.budget, entries)
+        budget = probe.budget
+        if self.guard is not None and self.guard.degraded():
+            # soft overload: expand this wave with half its budget —
+            # the paper's quality/latency knob, turned by load
+            budget = max(1, budget // 2)
+            self.guard.budget_degrades += 1
+        shares = split_budget(budget, entries)
         sends = []
         for idx, ((fn, graph, applied, _), comps) in enumerate(zip(candidates, lookups)):
             beta_k = shares.get(idx, 0)
@@ -713,10 +784,33 @@ class PeerDaemon:
     async def _on_probe(self, src: int, msg: codec.ProbeTransfer) -> dict:
         if self.stopped:
             return {"error": "stopped"}
+        if self.guard is not None and self.guard.probe_overloaded():
+            # hard shed: return the probe's termination credit without
+            # admitting anything, so the destination's window still
+            # closes by credit instead of waiting for the wall fallback.
+            # No admission ran, so there is no token to leak.
+            self.guard.probes_shed += 1
+            self._trace("probe_shed", request=msg.request_id, from_peer=src)
+            self._spawn(
+                self._return_credit(
+                    msg.request_id, msg.parent.request.dest_peer, msg.credit, "shed"
+                )
+            )
+            return {"ok": True, "shed": True}
         # ack immediately; admission + further expansion run as a task so
         # deep probe chains never stack RPC timeouts
-        self._spawn(self._process_probe(msg))
+        if self.guard is not None:
+            self.guard.begin_probe()
+            self._spawn(self._process_probe_guarded(msg))
+        else:
+            self._spawn(self._process_probe(msg))
         return {"ok": True}
+
+    async def _process_probe_guarded(self, msg: codec.ProbeTransfer) -> None:
+        try:
+            await self._process_probe(msg)
+        finally:
+            self.guard.end_probe()
 
     async def _process_probe(self, msg: codec.ProbeTransfer) -> None:
         rid = msg.request_id
@@ -765,6 +859,19 @@ class PeerDaemon:
         rid = msg.request_id
         if rid in self._collections:
             return {"ok": True}
+        if self.guard is not None and not self.guard.try_open_session(rid):
+            # shed in the begin reply itself: the source learns in one
+            # round trip, and no window / probe / reservation ever exists
+            self._trace(
+                "begin_rejected", request=rid, inflight=self.guard.sessions_inflight
+            )
+            return {
+                "busy": codec.Busy(
+                    request_id=rid,
+                    reason="sessions",
+                    inflight=self.guard.sessions_inflight,
+                )
+            }
         col = _Collection(
             request=msg.request,
             confirm=msg.confirm,
@@ -864,6 +971,8 @@ class PeerDaemon:
         col.done = True
         if col.deadline_handle is not None:
             col.deadline_handle.cancel()
+        if self.guard is not None:
+            self.guard.close_session(rid)
         cfg = self.bcp.config
         request = col.request
         result = col.result

@@ -129,6 +129,7 @@ class RpcEndpoint:
         reply_ttl: float = 120.0,
         clock: Optional[Callable[[], float]] = None,
         incarnation: Optional[str] = None,
+        inflight_limit: int = 0,
     ) -> None:
         self.transport = transport
         self.peer_id = peer_id
@@ -158,6 +159,24 @@ class RpcEndpoint:
         # retries, just before RpcTimeout raises.
         self.on_rtt: Optional[Callable[[int, float, str], None]] = None
         self.on_failure: Optional[Callable[[RpcFailure], None]] = None
+        # fail-fast hook (assigned by the daemon, never required):
+        # peer_down(dst) -> True aborts a call's remaining attempts
+        # immediately instead of burning the full retry/timeout budget
+        # against a peer already known to be dead.  The call still fails
+        # with the same structured RpcFailure/RpcTimeout pair; only the
+        # wasted wait disappears.  Callers that *measure* liveness pass
+        # ignore_down=True (recovery probes must reach a marked-down
+        # peer, or the path could never be marked back up).
+        self.peer_down: Optional[Callable[[int], bool]] = None
+        # outbound throttle: with inflight_limit > 0 at most that many
+        # calls from this endpoint are in flight at once (admission
+        # control's RPC-level pressure-relief; 0 = unlimited)
+        if inflight_limit < 0:
+            raise ValueError("inflight_limit must be >= 0")
+        self._inflight_limit = inflight_limit
+        self._gate: Optional[asyncio.Semaphore] = (
+            asyncio.Semaphore(inflight_limit) if inflight_limit else None
+        )
         transport.register(peer_id, self._on_envelope)
 
     def on(self, msg_type: Type, handler: Callable[[int, Any], Awaitable[Optional[dict]]]) -> None:
@@ -166,8 +185,31 @@ class RpcEndpoint:
     # ------------------------------------------------------------------
     # outbound
     # ------------------------------------------------------------------
-    async def call(self, dst: int, message: Any, retry: Optional[RetryPolicy] = None) -> dict:
-        """Send ``message`` to ``dst`` and await its reply payload."""
+    async def call(
+        self,
+        dst: int,
+        message: Any,
+        retry: Optional[RetryPolicy] = None,
+        ignore_down: bool = False,
+    ) -> dict:
+        """Send ``message`` to ``dst`` and await its reply payload.
+
+        ``ignore_down=True`` bypasses the :attr:`peer_down` fail-fast
+        check — for callers whose whole job is to discover that a
+        marked-down peer came back (the measurement plane's recovery
+        probes)."""
+        if self._gate is None:
+            return await self._call(dst, message, retry, ignore_down)
+        async with self._gate:
+            return await self._call(dst, message, retry, ignore_down)
+
+    async def _call(
+        self,
+        dst: int,
+        message: Any,
+        retry: Optional[RetryPolicy],
+        ignore_down: bool,
+    ) -> dict:
         policy = retry or self.retry
         msg_id = next(self._ids)
         # note there is no "dst" field: the transport connection already
@@ -183,12 +225,24 @@ class RpcEndpoint:
         self.calls_sent += 1
         loop = asyncio.get_running_loop()
         last_error = "timeout"
+        attempts = 0
         for attempt in range(policy.retries + 1):
+            if (
+                not ignore_down
+                and self.peer_down is not None
+                and self.peer_down(dst)
+            ):
+                # the peer is already known dead: abort the remaining
+                # attempts instead of waiting out their timeouts — the
+                # caller gets the same structured failure, minus the burn
+                last_error = f"peer {dst} marked down"
+                break
             if attempt:
                 self.retries_performed += 1
                 delay = policy.backoff * policy.factor ** (attempt - 1)
                 delay *= 1.0 + policy.jitter * float(self._rng.random())
                 await asyncio.sleep(delay)
+            attempts += 1
             future: asyncio.Future = loop.create_future()
             self._pending[msg_id] = future
             sent_at = loop.time()
@@ -218,13 +272,13 @@ class RpcEndpoint:
                 RpcFailure(
                     peer=dst,
                     method=type(message).__name__,
-                    attempts=policy.retries + 1,
+                    attempts=attempts,
                     error=last_error,
                 )
             )
         raise RpcTimeout(
             f"{type(message).__name__} {self.peer_id}->{dst} failed after "
-            f"{policy.retries + 1} attempts: {last_error}"
+            f"{attempts} attempts: {last_error}"
         )
 
     # ------------------------------------------------------------------

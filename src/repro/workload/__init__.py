@@ -1,6 +1,11 @@
 """Workload generation: populations, request streams, experiment scenarios."""
 
-from .arrivals import PoissonArrivals, ZipfFunctionSampler, zipf_weights
+from .arrivals import (
+    AsyncioScheduler,
+    PoissonArrivals,
+    ZipfFunctionSampler,
+    zipf_weights,
+)
 from .generator import (
     PopulationConfig,
     RequestConfig,
@@ -11,6 +16,7 @@ from .generator import (
 )
 
 __all__ = [
+    "AsyncioScheduler",
     "PoissonArrivals",
     "PopulationConfig",
     "RequestConfig",

@@ -16,7 +16,9 @@ workloads motivate:
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -24,7 +26,33 @@ import numpy as np
 from ..sim.engine import Simulator
 from ..sim.rng import as_generator
 
-__all__ = ["PoissonArrivals", "zipf_weights", "ZipfFunctionSampler"]
+__all__ = [
+    "AsyncioScheduler",
+    "PoissonArrivals",
+    "zipf_weights",
+    "ZipfFunctionSampler",
+]
+
+
+class AsyncioScheduler:
+    """Duck-types the :class:`~repro.sim.engine.Simulator` scheduling
+    surface over a running asyncio event loop, so the same arrival
+    processes drive either the simulator's virtual clock or the wall
+    clock of a live cluster.  ``schedule`` never blocks: the callback
+    fires via ``loop.call_later``, which is what makes the live load
+    driver *open-loop* — arrivals keep coming at the configured rate no
+    matter how long earlier requests take to complete.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop or asyncio.get_event_loop()
+
+    @property
+    def now(self) -> float:
+        return self._loop.time()
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        self._loop.call_later(max(0.0, delay), fn)
 
 
 class PoissonArrivals:
@@ -32,6 +60,11 @@ class PoissonArrivals:
 
     ``rate`` is arrivals per time unit (the paper's workload axis).
     The process runs until :meth:`stop` or the simulator's horizon.
+    ``stop()`` is idempotent, and takes effect even with an arrival
+    already scheduled: the in-flight timer fires but is discarded.  A
+    stopped process may be :meth:`start`-ed again — each start opens a
+    new *generation*, so timers armed by a previous life can never
+    resurrect a stopped stream.
     """
 
     def __init__(
@@ -48,11 +81,18 @@ class PoissonArrivals:
         self.callback = callback
         self.rng = as_generator(rng)
         self.arrivals = 0
-        self._stopped = False
+        self._stopped = True  # not running until start()
+        self._gen = 0  # bumped per start(); stale timers carry the old value
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
 
     def start(self) -> None:
-        if self._stopped:
-            raise RuntimeError("arrival process already stopped")
+        if not self._stopped:
+            raise RuntimeError("arrival process already running")
+        self._stopped = False
+        self._gen += 1
         self._arm()
 
     def stop(self) -> None:
@@ -60,11 +100,11 @@ class PoissonArrivals:
 
     def _arm(self) -> None:
         gap = float(self.rng.exponential(1.0 / self.rate))
-        self.sim.schedule(gap, self._fire)
+        self.sim.schedule(gap, partial(self._fire, self._gen))
 
-    def _fire(self) -> None:
-        if self._stopped:
-            return
+    def _fire(self, gen: int) -> None:
+        if self._stopped or gen != self._gen:
+            return  # stopped after this timer was armed, or a stale life
         self.arrivals += 1
         self.callback()
         self._arm()

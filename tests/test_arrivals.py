@@ -5,6 +5,7 @@ import pytest
 
 from repro.sim.engine import Simulator
 from repro.workload import (
+    AsyncioScheduler,
     PoissonArrivals,
     RequestConfig,
     RequestGenerator,
@@ -52,11 +53,108 @@ class TestPoissonArrivals:
         with pytest.raises(ValueError):
             PoissonArrivals(Simulator(), rate=0.0, callback=lambda: None)
 
-    def test_restart_after_stop_rejected(self):
-        proc = PoissonArrivals(Simulator(), rate=1.0, callback=lambda: None)
+    def test_stop_discards_inflight_arrival(self):
+        # stop() between arming and firing: the scheduled timer still
+        # runs, but the callback must not — the stream is truly closed
+        sim = Simulator()
+        count = []
+        proc = PoissonArrivals(sim, rate=1.0, callback=lambda: count.append(1),
+                               rng=np.random.default_rng(3))
+        proc.start()  # one arrival armed, none fired yet
         proc.stop()
+        sim.run(until=100.0)
+        assert count == []
+        assert proc.arrivals == 0
+
+    def test_stop_idempotent(self):
+        proc = PoissonArrivals(Simulator(), rate=1.0, callback=lambda: None,
+                               rng=np.random.default_rng(4))
+        proc.start()
+        proc.stop()
+        proc.stop()  # second stop is a no-op, not an error
+        assert not proc.running
+
+    def test_restart_opens_new_generation(self):
+        sim = Simulator()
+        count = []
+        proc = PoissonArrivals(sim, rate=10.0, callback=lambda: count.append(1),
+                               rng=np.random.default_rng(5))
+        proc.start()
+        sim.run(until=5.0)
+        proc.stop()
+        first = len(count)
+        assert first > 0
+        sim.run(until=10.0)
+        assert len(count) == first  # stopped stream stays silent
+        proc.start()  # restart: a new generation of timers
+        sim.run(until=20.0)
+        assert len(count) > first
         with pytest.raises(RuntimeError):
+            proc.start()  # but double-start while running is still a bug
+
+    def test_stale_generation_timer_ignored(self):
+        # a timer armed by life N must not fire arrivals in life N+1
+        sim = Simulator()
+        count = []
+        proc = PoissonArrivals(sim, rate=1.0, callback=lambda: count.append(1),
+                               rng=np.random.default_rng(6))
+        proc.start()  # life 1 arms its first timer
+        proc.stop()
+        proc.start()  # life 2 arms its own; life 1's is now stale
+        sim.run(until=2000.0)
+        # every arrival was produced by exactly one live chain: had the
+        # stale timer survived, two chains would double the rate
+        assert proc.arrivals == len(count)
+        gaps = len(count)
+        assert 1700 <= gaps <= 2300  # one rate-1.0 chain, not two
+
+
+class TestAsyncioScheduler:
+    def test_schedules_on_wall_clock(self):
+        import asyncio
+
+        async def scenario():
+            sched = AsyncioScheduler()
+            fired = asyncio.Event()
+            sched.schedule(0.01, fired.set)
+            t0 = sched.now
+            await asyncio.wait_for(fired.wait(), timeout=2.0)
+            return sched.now - t0
+
+        elapsed = asyncio.run(scenario())
+        assert elapsed >= 0.009
+
+    def test_negative_delay_clamped(self):
+        import asyncio
+
+        async def scenario():
+            sched = AsyncioScheduler()
+            fired = asyncio.Event()
+            sched.schedule(-5.0, fired.set)
+            await asyncio.wait_for(fired.wait(), timeout=2.0)
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_drives_poisson_arrivals_open_loop(self):
+        import asyncio
+
+        async def scenario():
+            sched = AsyncioScheduler()
+            count = []
+            proc = PoissonArrivals(sched, rate=200.0,
+                                   callback=lambda: count.append(1),
+                                   rng=np.random.default_rng(7))
             proc.start()
+            await asyncio.sleep(0.25)
+            proc.stop()
+            n = len(count)
+            await asyncio.sleep(0.05)
+            assert len(count) == n  # no arrivals after stop
+            return n
+
+        n = asyncio.run(scenario())
+        assert n > 5  # ~50 expected; just prove the stream flowed
 
 
 class TestZipfWeights:

@@ -176,13 +176,17 @@ def test_compose_survives_directory_owner_death():
             ]
             stats = cluster.rpc_stats()
             violations = list(cluster.shared_guard.violations)
-            return first, after, stats, cluster.errors(), violations
+            failures = cluster.rpc_failures()
+            return first, after, stats, cluster.errors(), violations, failures, victim
 
-    first, after, stats, errors, violations = asyncio.run(scenario())
+    first, after, stats, errors, violations, failures, victim = asyncio.run(scenario())
     assert errors == []
     assert violations == []
     assert first.success
     # the dead owner slows discovery down but cannot stop it: replica
     # failover keeps the duplicate lists reachable
     assert any(r.success for r in after)
-    assert stats["retries_performed"] > 0
+    # calls at the dead owner fail fast (the endpoint's peer_down check
+    # sees the killed transport) instead of burning retry budget
+    assert failures, "lookups at the dead owner should record RpcFailures"
+    assert all(f.attempts == 0 for f in failures if f.peer == victim)
