@@ -1,0 +1,271 @@
+"""Large-graph composition scaling: strategy registry shoot-out.
+
+Sweeps graph size × candidate density × composition strategy over the
+:mod:`repro.workload.largegraph` worlds and writes
+``benchmarks/BENCH_compose_scale.json``.  The claim under test is the
+scaling one:
+
+* **BCP** was designed for the paper's 2–4 function requests: its
+  budget is split across next-hop probes at every step, so on a deep
+  DAG the per-path allowance starves and no probe survives to the
+  destination — it fails outright well before 100 functions;
+* **backtrack** (branch-and-bound over the global view) and
+  **decompose** (topological-layer segmentation + beam scoring +
+  stitch) are anytime: they return valid, QoS-qualified graphs on
+  100–300-function DAGs in bounded time, where BCP exhausts any
+  realistic budget.
+
+Each cell records wall time, the strategy's ``ops_*`` work counters
+(expansions, prunes, beam partials), the solution's ψλ cost, and a
+validity check of the returned graph (full assignment + QoS bounds).
+
+Run directly (CI runs ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_compose_scale.py
+    PYTHONPATH=src python benchmarks/bench_compose_scale.py --sizes 20 --sizes 300
+    PYTHONPATH=src python benchmarks/bench_compose_scale.py --smoke
+
+``--smoke`` is the CI gate: one small world, three strategies, exits
+nonzero on any crash, on an invalid returned graph, or if no strategy
+composes at all.
+
+Exit codes: 0 ok, 1 crash/validity/smoke-gate failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.strategies import create_strategy  # noqa: E402
+from repro.workload.largegraph import (  # noqa: E402
+    LargeGraphConfig,
+    largegraph_world,
+)
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_compose_scale.json"
+
+# BCP enters the matrix at two budgets: the fig11 sweet spot (64) and a
+# generous 4× that, so "BCP fails" is not an artefact of stinginess
+BCP_BUDGETS = (64, 256)
+
+
+def _validate(result, request) -> Optional[str]:
+    """None if the returned graph is a valid answer, else the defect."""
+    if not result.success:
+        return None  # nothing to validate
+    graph = result.best
+    if graph is None:
+        return "success without a graph"
+    missing = set(request.function_graph.functions) - set(graph.assignment)
+    if missing:
+        return f"unassigned functions: {sorted(missing)[:3]}"
+    if result.best_qos is not None and not request.qos.satisfied_by(result.best_qos):
+        return "reported QoS violates the request bounds"
+    return None
+
+
+def run_cell(
+    kind: str,
+    size: int,
+    density: int,
+    seed: int,
+    strategies: List[str],
+    options_by_name: Optional[Dict[str, Dict]] = None,
+) -> List[Dict]:
+    cfg = LargeGraphConfig(
+        kind=kind, n_functions=size, candidate_density=density, seed=seed
+    )
+    t0 = time.perf_counter()
+    world = largegraph_world(cfg)
+    build_s = time.perf_counter() - t0
+    rows: List[Dict] = []
+    for name in strategies:
+        net, request = world.net, world.request
+        if name.startswith("bcp"):
+            budget = int(name.split("@", 1)[1])
+            net.composer = None
+            t0 = time.perf_counter()
+            result = net.compose(request, budget=budget, confirm=False)
+            wall = time.perf_counter() - t0
+        else:
+            options = (options_by_name or {}).get(name, {})
+            net.composer = create_strategy(name, net.strategy_context(), **options)
+            t0 = time.perf_counter()
+            result = net.compose(request, confirm=False)
+            wall = time.perf_counter() - t0
+            net.composer = None
+        defect = _validate(result, request)
+        ops = {
+            k[len("ops_"):]: int(v)
+            for k, v in sorted(result.phases.items())
+            if k.startswith("ops_")
+        }
+        rows.append(
+            {
+                "kind": kind,
+                "size": size,
+                "density": density,
+                "seed": seed,
+                "strategy": name,
+                "success": bool(result.success),
+                "valid": defect is None,
+                "defect": defect,
+                "wall_s": round(wall, 4),
+                "build_s": round(build_s, 4),
+                "cost": None if result.best_cost == float("inf") else round(result.best_cost, 6),
+                "probes_sent": result.probes_sent,
+                "failure_reason": result.failure_reason,
+                "ops": ops,
+            }
+        )
+        status = "ok" if result.success else f"FAIL ({result.failure_reason})"
+        cost = rows[-1]["cost"]
+        print(
+            f"  {kind:>15s} n={size:<4d} z={density} {name:>10s}: "
+            f"{status:<44s} {wall * 1000:8.0f} ms"
+            + (f"  psi={cost:.3f}" if cost is not None else "")
+        )
+    return rows
+
+
+def headline(cells: List[Dict]) -> Dict:
+    """The acceptance claim, computed from the matrix: on the largest
+    graphs, do the new strategies succeed where BCP cannot?"""
+    big = [c for c in cells if c["size"] >= 100]
+    bcp_ok = [c for c in big if c["strategy"].startswith("bcp") and c["success"]]
+    new_ok = [
+        c
+        for c in big
+        if c["strategy"] in ("backtrack", "decompose") and c["success"] and c["valid"]
+    ]
+    claim: Dict = {
+        "big_graph_cells": len(big),
+        "bcp_successes": len(bcp_ok),
+        "new_strategy_successes": len(new_ok),
+        "succeeds_where_bcp_fails": len(new_ok) > 0 and len(bcp_ok) == 0,
+    }
+    # where both succeed on the same world, record speed/quality ratios
+    ratios = []
+    for c in cells:
+        if not c["strategy"].startswith("bcp") or not c["success"]:
+            continue
+        for s in cells:
+            if (
+                s["strategy"] in ("backtrack", "decompose")
+                and s["success"]
+                and (s["kind"], s["size"], s["density"], s["seed"])
+                == (c["kind"], c["size"], c["density"], c["seed"])
+                and s["cost"] is not None
+                and c["cost"] is not None
+            ):
+                ratios.append(
+                    {
+                        "size": c["size"],
+                        "strategy": s["strategy"],
+                        "vs": c["strategy"],
+                        "speedup": round(c["wall_s"] / max(s["wall_s"], 1e-9), 2),
+                        "cost_ratio": round(s["cost"] / max(c["cost"], 1e-9), 4),
+                    }
+                )
+    claim["head_to_head"] = ratios
+    return claim
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI gate: tiny matrix")
+    parser.add_argument(
+        "--sizes", type=int, action="append", default=None,
+        help="graph sizes (repeatable; default 20/50/100/200)",
+    )
+    parser.add_argument(
+        "--densities", type=int, action="append", default=None,
+        help="candidate densities (repeatable; default 4)",
+    )
+    parser.add_argument(
+        "--kinds", action="append", default=None,
+        choices=("layered", "series-parallel", "random"),
+        help="graph shapes (repeatable; default layered + random)",
+    )
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--out", default=None, help=f"output JSON path (default {BENCH_JSON})"
+    )
+    args = parser.parse_args(argv)
+
+    options_by_name: Dict[str, Dict] = {}
+    if args.smoke:
+        kinds = ["layered"]
+        sizes = [20]
+        densities = [3]
+        strategies = ["bcp@64", "backtrack", "decompose"]
+        # keep the CI gate fast: a tight anytime budget still composes
+        options_by_name = {"backtrack": {"node_limit": 30_000}}
+    else:
+        kinds = args.kinds or ["layered", "random"]
+        sizes = args.sizes or [20, 50, 100, 200]
+        densities = args.densities or [4]
+        strategies = [f"bcp@{b}" for b in BCP_BUDGETS] + ["backtrack", "decompose"]
+
+    cells: List[Dict] = []
+    crashed = False
+    for kind in kinds:
+        for size in sizes:
+            for density in densities:
+                try:
+                    cells.extend(
+                        run_cell(
+                            kind, size, density, args.seed,
+                            strategies, options_by_name,
+                        )
+                    )
+                except Exception as exc:  # pragma: no cover - the gate itself
+                    crashed = True
+                    print(f"  CELL CRASHED ({kind}, n={size}, z={density}): {exc!r}")
+
+    claim = headline(cells)
+    payload = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "matrix": {
+            "kinds": kinds,
+            "sizes": sizes,
+            "densities": densities,
+            "strategies": strategies,
+            "seed": args.seed,
+        },
+        "headline": claim,
+        "cells": cells,
+    }
+    out = pathlib.Path(args.out) if args.out else BENCH_JSON
+    if not args.smoke or args.out:
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    print(f"headline: {json.dumps(claim) if args.smoke else json.dumps(claim, indent=2)}")
+
+    invalid = [c for c in cells if not c["valid"]]
+    if invalid:
+        print(f"INVALID GRAPHS: {[(c['strategy'], c['size']) for c in invalid]}")
+        return 1
+    if crashed:
+        return 1
+    if args.smoke:
+        new_ok = [
+            c for c in cells
+            if c["strategy"] in ("backtrack", "decompose") and c["success"]
+        ]
+        if not new_ok:
+            print("SMOKE GATE: no anytime strategy composed the smoke world")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

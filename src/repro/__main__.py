@@ -203,6 +203,15 @@ def _add_cluster_options(sub: argparse.ArgumentParser) -> None:
         help="max active probes per cycle per peer",
     )
     sub.add_argument(
+        "--composer",
+        default="bcp",
+        metavar="NAME",
+        help="composition strategy from the registry (default: bcp; "
+        "see `repro.core.strategies` — e.g. backtrack, decompose, "
+        "optimal, random, static, centralized); non-bcp strategies "
+        "need a global view, so --no-distributed is forced",
+    )
+    sub.add_argument(
         "--profile",
         action="store_true",
         help="time the boot/run/shutdown phases and print a breakdown",
@@ -385,13 +394,21 @@ def _build_cluster(args, trace: Optional[EventTrace]):
         measure_kwargs["probe_interval"] = args.probe_interval
     if args.probe_budget is not None:
         measure_kwargs["probe_budget"] = args.probe_budget
+    composer = getattr(args, "composer", "bcp")
+    distributed = args.distributed
+    if composer != "bcp" and distributed:
+        # every non-bcp strategy composes over the global registry/pool
+        # view, which distributed mode seals off
+        print(f"composer {composer!r} needs the global view; forcing --no-distributed")
+        distributed = False
     cfg = ClusterConfig(
         n_peers=args.peers,
         n_functions=args.functions,
         transport=args.transport,
         port_base=args.port_base,
         seed=args.seed,
-        distributed=args.distributed,
+        distributed=distributed,
+        composer=composer,
         wire_version=args.codec,
         coalesce_writes=args.coalesce,
         directory_tier=DirectoryTierConfig(enabled=args.dir_cache),
@@ -476,7 +493,7 @@ async def _serve(args, trace: Optional[EventTrace]) -> int:
     return 0
 
 
-def _print_compose_result(request, result) -> None:
+def _print_compose_result(request, result, profile: bool = False) -> None:
     status = "ok" if result.success else f"FAILED ({result.failure_reason})"
     print(
         f"  request {request.request_id}: {status} — "
@@ -484,6 +501,17 @@ def _print_compose_result(request, result) -> None:
         f"{result.candidates_examined} candidates, "
         f"setup {result.setup_time * 1000:.0f} ms (virtual)"
     )
+    if profile and result.phases:
+        ops = {
+            k[len("ops_"):]: v
+            for k, v in sorted(result.phases.items())
+            if k.startswith("ops_")
+        }
+        if ops:
+            print(
+                "    ops: "
+                + ", ".join(f"{k}={int(v)}" for k, v in ops.items())
+            )
 
 
 async def _compose_live(args, trace: Optional[EventTrace]) -> int:
@@ -512,7 +540,7 @@ async def _compose_live(args, trace: Optional[EventTrace]) -> int:
                 failures += 1
                 results = []
             for request, result in zip(requests, results):
-                _print_compose_result(request, result)
+                _print_compose_result(request, result, profile=args.profile)
                 failures += 0 if result.success else 1
         else:
             for i, request in enumerate(requests):
@@ -526,7 +554,7 @@ async def _compose_live(args, trace: Optional[EventTrace]) -> int:
                     print(f"  request {request.request_id}: FAILED ({exc})")
                     failures += 1
                     continue
-                _print_compose_result(request, result)
+                _print_compose_result(request, result, profile=args.profile)
                 failures += 0 if result.success else 1
                 if args.kill is not None and i == 0:
                     if args.kill in (request.source_peer, request.dest_peer):

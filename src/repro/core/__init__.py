@@ -5,6 +5,7 @@ from .baselines import (
     CentralizedComposer,
     OptimalComposer,
     RandomComposer,
+    SearchSpaceExceeded,
     StaticComposer,
     admit_graph,
     enumerate_candidates,
@@ -56,6 +57,18 @@ from .resources import (
 from .selection import CandidateGraph, SelectionOutcome, merge_probes, select_composition
 from .service_graph import ServiceGraph, ServiceLink
 from .session import RecoveryConfig, ServiceSession, SessionManager, SessionState
+from .strategies import (
+    CompositionStrategy,
+    DecompositionComposer,
+    PrunedBacktrackingComposer,
+    StrategyContext,
+    UnknownStrategyError,
+    create_strategy,
+    get_strategy,
+    register_strategy,
+    search_compositions,
+    strategy_names,
+)
 
 __all__ = [
     "AdaptiveBudgetPolicy",
@@ -70,7 +83,9 @@ __all__ = [
     "CentralizedComposer",
     "CompositeRequest",
     "CompositionResult",
+    "CompositionStrategy",
     "CostWeights",
+    "DecompositionComposer",
     "DEFAULT_METRICS",
     "DEFAULT_RESOURCE_TYPES",
     "FunctionGraph",
@@ -79,6 +94,10 @@ __all__ = [
     "NextHopWeights",
     "OptimalComposer",
     "Probe",
+    "PrunedBacktrackingComposer",
+    "SearchSpaceExceeded",
+    "StrategyContext",
+    "UnknownStrategyError",
     "QoSRequirement",
     "QoSVector",
     "QuotaPolicy",
@@ -103,7 +122,12 @@ __all__ = [
     "conditional_link_bandwidths",
     "bottleneck_order",
     "budget_for_fraction",
+    "create_strategy",
     "default_peer_capacity",
+    "get_strategy",
+    "register_strategy",
+    "search_compositions",
+    "strategy_names",
     "describe_composition",
     "derive_next_functions",
     "expected_qos",

@@ -44,11 +44,16 @@ __all__ = [
     "admit_graph",
     "enumerate_candidates",
     "optimal_probe_count",
+    "SearchSpaceExceeded",
     "OptimalComposer",
     "RandomComposer",
     "StaticComposer",
     "CentralizedComposer",
 ]
+
+
+class SearchSpaceExceeded(ValueError):
+    """The optimal composer refused a request beyond its size guard."""
 
 
 def enumerate_candidates(
@@ -165,19 +170,63 @@ class _ComposerBase:
 
 
 class OptimalComposer(_ComposerBase):
-    """Unbounded flooding: examine everything, then select like §4.3."""
+    """Unbounded flooding ground truth: provably best qualified graph.
+
+    The *message accounting* is still exhaustive — the ledger is charged
+    ``optimal_probe_count`` flood probes, the denominator of the paper's
+    "probing-X" fractions — but the *evaluation* now runs through the
+    exact branch-and-bound of :mod:`repro.core.strategies.search` instead
+    of materialising every Π Zᵢ combination: lower-bound and dominance
+    pruning are value-preserving, so the selected graph (and its
+    cost/QoS) is identical to full enumeration while mid-size graphs
+    that previously could not finish now do.
+
+    ``max_search_space`` guards the raw combination count; beyond it the
+    ground truth is declined with :class:`SearchSpaceExceeded` (use the
+    ``backtrack``/``decompose`` strategies there — they are anytime, this
+    class must prove optimality).
+    """
+
+    DEFAULT_MAX_SEARCH_SPACE = 10_000_000
+
+    def __init__(self, *args, max_search_space: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.max_search_space = (
+            self.DEFAULT_MAX_SEARCH_SPACE if max_search_space is None else max_search_space
+        )
+        self.last_counters = None  # OpCounters of the most recent compose
 
     def compose(self, request: CompositeRequest, confirm: bool = True) -> CompositionResult:
+        from ..perf.counters import OpCounters
+        from .strategies.search import search_compositions
+
         duplicates = self._duplicates(request)
-        candidates = enumerate_candidates(
-            request, duplicates, self.overlay, self.alive, self.max_patterns
-        )
         probes = optimal_probe_count(request, duplicates, self.max_patterns)
+        if probes > self.max_search_space:
+            raise SearchSpaceExceeded(
+                f"optimal composition over {probes} candidate graphs exceeds the "
+                f"size guard ({self.max_search_space}); raise max_search_space or "
+                f"use an anytime strategy ('backtrack' or 'decompose') instead"
+            )
         self.ledger.record("flood_probe", 256, probes)
-        selection = select_composition(
-            candidates, request.qos, self.pool, self.cost_weights, objective=self.objective
+        counters = OpCounters()
+        outcome = search_compositions(
+            request,
+            duplicates,
+            self.overlay,
+            self.pool,
+            alive=self.alive,
+            cost_weights=self.cost_weights,
+            objective=self.objective,
+            max_patterns=self.max_patterns,
+            node_limit=None,  # exhaustive-equivalent: run to proven optimality
+            top_k=64,
+            counters=counters,
         )
-        return self._result(request, selection, probes, confirm)
+        self.last_counters = counters
+        result = self._result(request, outcome.selection(), probes, confirm)
+        result.phases.update(counters.as_phases())
+        return result
 
 
 class RandomComposer(_ComposerBase):
@@ -281,11 +330,22 @@ class CentralizedComposer(_ComposerBase):
     then performed against live state (a session either fits or fails).
     """
 
-    def __init__(self, *args, dissemination: str = "global-view", **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        dissemination: str = "global-view",
+        max_search_space: Optional[int] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         if dissemination not in ("global-view", "server"):
             raise ValueError(f"unknown dissemination model {dissemination!r}")
         self.dissemination = dissemination
+        self.max_search_space = (
+            OptimalComposer.DEFAULT_MAX_SEARCH_SPACE
+            if max_search_space is None
+            else max_search_space
+        )
         self._cached_available: Dict[int, ResourceVector] = {}
         self.refreshes = 0
 
@@ -303,6 +363,13 @@ class CentralizedComposer(_ComposerBase):
         if not self._cached_available:
             self.refresh()
         duplicates = self._duplicates(request)
+        combos = optimal_probe_count(request, duplicates, self.max_patterns)
+        if combos > self.max_search_space:
+            raise SearchSpaceExceeded(
+                f"centralized composition over {combos} candidate graphs exceeds "
+                f"the size guard ({self.max_search_space}); raise max_search_space "
+                f"or use an anytime strategy ('backtrack' or 'decompose') instead"
+            )
         candidates = enumerate_candidates(
             request, duplicates, self.overlay, self.alive, self.max_patterns
         )

@@ -68,6 +68,10 @@ class SpiderNet:
     # compose() with budget=None derives the budget per request (§4.1
     # Step 1) and feeds the outcome back to the controller
     budget_policy: Optional[object] = None
+    # optional CompositionStrategy (repro.core.strategies): when set,
+    # compose() routes through it instead of calling BCP directly; None
+    # keeps the direct BCP path bit-for-bit untouched
+    composer: Optional[object] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -165,10 +169,39 @@ class SpiderNet:
         """
         if budget is None and self.budget_policy is not None:
             budget = self.budget_policy.budget_for(request)
-        result = self.bcp.compose(request, budget=budget, confirm=confirm, now=self.sim.now)
+        if self.composer is not None:
+            result = self.composer.compose(
+                request, budget=budget, confirm=confirm, now=self.sim.now
+            )
+        else:
+            result = self.bcp.compose(
+                request, budget=budget, confirm=confirm, now=self.sim.now
+            )
         if self.budget_policy is not None:
             self.budget_policy.record_outcome(result)
         return result
+
+    def strategy_context(self):
+        """A :class:`~repro.core.strategies.StrategyContext` over this stack."""
+        from .strategies import StrategyContext
+
+        return StrategyContext.from_spidernet(self)
+
+    def use_composer(self, name: Optional[str], **options):
+        """Select the composition strategy by registry name.
+
+        ``use_composer("bcp")`` routes through the BCP strategy adapter
+        (bit-identical results, plus ``ops_*`` profiling keys);
+        ``use_composer(None)`` restores the direct BCP call.  Returns the
+        installed strategy (or None).
+        """
+        if name is None:
+            self.composer = None
+            return None
+        from .strategies import create_strategy
+
+        self.composer = create_strategy(name, self.strategy_context(), **options)
+        return self.composer
 
     def start_session(
         self, request: CompositeRequest, budget: Optional[int] = None

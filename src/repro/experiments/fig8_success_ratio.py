@@ -21,13 +21,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.baselines import (
-    OptimalComposer,
-    RandomComposer,
-    StaticComposer,
-    optimal_probe_count,
-)
+from ..core.baselines import optimal_probe_count
 from ..core.bcp import BCPConfig
+from ..core.strategies import create_strategy
 from ..core.quota import budget_for_fraction
 from ..sim.metrics import RatioMeter
 from ..workload.generator import RequestConfig
@@ -103,15 +99,14 @@ def _run_point(cfg: Fig8Config, algorithm: str, workload: int) -> Tuple[float, f
     held = HeldSessions(net.pool)
     meter = RatioMeter()
     composer = None
-    if algorithm == "optimal":
-        composer = OptimalComposer(net.overlay, net.pool, net.registry, ledger=net.ledger)
-    elif algorithm == "random":
-        composer = RandomComposer(net.overlay, net.pool, net.registry, ledger=net.ledger, rng=cfg.seed)
-    elif algorithm == "static":
-        composer = StaticComposer(net.overlay, net.pool, net.registry, ledger=net.ledger, rng=cfg.seed)
     fraction = None
     if algorithm.startswith("probing-"):
         fraction = float(algorithm.split("-", 1)[1])
+    else:
+        # every non-probing curve resolves through the strategy registry,
+        # so any registered composer can be plotted by name
+        options = {"rng": cfg.seed} if algorithm in ("random", "static") else {}
+        composer = create_strategy(algorithm, net.strategy_context(), **options)
     msgs_before = net.ledger.total_count()
     arrival_rng = np.random.default_rng(cfg.seed + workload)
     for t in range(cfg.duration):

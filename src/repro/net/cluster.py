@@ -80,6 +80,13 @@ class ClusterConfig:
     # True: DHT-routed discovery + per-peer pools, shared state sealed.
     # False: the original shared-ground-truth arrangement (sim parity).
     distributed: bool = True
+    # composition strategy by registry name (repro.core.strategies).
+    # "bcp" (the default) keeps the wire-probing path bit-for-bit
+    # untouched; any other name composes at the source daemon over the
+    # cluster's global view, which requires shared-state mode
+    # (distributed=False) — distributed mode seals exactly the state a
+    # global-view strategy must read.
+    composer: str = "bcp"
     # directory acceleration tier (distributed mode only): None -> the
     # tier's defaults (enabled); DirectoryTierConfig(enabled=False)
     # reproduces the pre-tier per-lookup routing exactly
@@ -163,6 +170,20 @@ class LiveCluster:
         # guard records it (then raises) instead of letting it pass
         self.shared_guard = SharedStateGuard() if self.distributed else None
         self._ring = self.net.dht.ring_snapshot() if self.distributed else None
+        self.composer_strategy = None
+        if cfg.composer != "bcp":
+            from ..core.strategies import StrategyContext, get_strategy
+
+            strategy_cls = get_strategy(cfg.composer)  # raises on unknown name
+            if strategy_cls.requires_global_view and self.distributed:
+                raise ValueError(
+                    f"composer {cfg.composer!r} needs a global registry/pool "
+                    f"view and cannot run in distributed mode (shared state is "
+                    f"sealed); use ClusterConfig(distributed=False)"
+                )
+            self.composer_strategy = strategy_cls.from_context(
+                StrategyContext.from_spidernet(self.net)
+            )
         all_peers = sorted(scenario.overlay.peers())
         if cfg.hosted is None:
             hosted = all_peers
@@ -276,6 +297,7 @@ class LiveCluster:
             dir_tier=self.dir_tier,
             measurement=plane,
             guard=self._make_guard(),
+            composer=self.composer_strategy,
         )
 
     def _make_guard(self) -> Optional[LoadGuard]:

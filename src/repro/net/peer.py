@@ -187,6 +187,7 @@ class PeerDaemon:
         dir_tier: Optional[DirectoryTierConfig] = None,
         measurement=None,
         guard: Optional[LoadGuard] = None,
+        composer=None,
     ) -> None:
         self.peer_id = peer_id
         self.bcp = bcp
@@ -212,6 +213,10 @@ class PeerDaemon:
         self.measurement = measurement
         # admission control (None = pre-admission behaviour, bit-exact)
         self.guard = guard
+        # optional CompositionStrategy (repro.core.strategies): when set
+        # (shared-state clusters only), start_compose runs it at the
+        # source daemon instead of probing over the wire
+        self.composer = composer
         self.stopped = False
         self.errors: List[str] = []
         # structured retry-exhaustion records (RpcFailure) — expected
@@ -436,6 +441,21 @@ class PeerDaemon:
         """Run one live composition from this (source) peer."""
         if request.source_peer != self.peer_id:
             raise ValueError(f"request sources at {request.source_peer}, daemon is {self.peer_id}")
+        if self.composer is not None:
+            # a global-view strategy is attached (shared-state mode):
+            # compose locally at the source daemon — no probes on the
+            # wire, only the strategy's own ledger accounting
+            rid = request.request_id
+            self._trace(
+                "compose_started", request=rid, dest=request.dest_peer,
+                budget=0, composer=self.composer.name,
+            )
+            result = self.composer.compose(request, budget=budget, confirm=confirm)
+            self._trace(
+                "compose_finished", request=rid, success=result.success,
+                composer=self.composer.name,
+            )
+            return result
         cfg = self.bcp.config
         beta = cfg.budget if budget is None else budget
         if beta < 1:

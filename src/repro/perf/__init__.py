@@ -10,7 +10,8 @@ dict) and :func:`profile_call` (the ``python -m repro --profile``
 backend).  See ``docs/PERFORMANCE.md``.
 """
 
+from .counters import OpCounters
 from .profiling import profile_call
 from .timers import PhaseTimer
 
-__all__ = ["PhaseTimer", "profile_call"]
+__all__ = ["OpCounters", "PhaseTimer", "profile_call"]

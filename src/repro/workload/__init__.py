@@ -14,15 +14,29 @@ from .generator import (
     generate_population,
     media_population,
 )
+from .largegraph import (
+    LargeGraphConfig,
+    LargeGraphWorld,
+    generate_large_graph,
+    largegraph_population,
+    largegraph_request,
+    largegraph_world,
+)
 
 __all__ = [
     "AsyncioScheduler",
+    "LargeGraphConfig",
+    "LargeGraphWorld",
     "PoissonArrivals",
     "PopulationConfig",
     "RequestConfig",
     "RequestGenerator",
     "function_names",
+    "generate_large_graph",
     "generate_population",
+    "largegraph_population",
+    "largegraph_request",
+    "largegraph_world",
     "media_population",
     "zipf_weights",
     "ZipfFunctionSampler",

@@ -1,0 +1,112 @@
+"""The large-graph workload generator (`repro.workload.largegraph`).
+
+The generator's contract: valid DAGs (no isolated functions, no
+cycles), a *hard* source→sink path-count cap (branch enumeration is
+what every composition algorithm here pays for), determinism under a
+seed, and worlds that are resource-feasible by construction.
+"""
+
+import pytest
+
+from repro.workload.largegraph import (
+    LargeGraphConfig,
+    generate_large_graph,
+    largegraph_population,
+    largegraph_request,
+    largegraph_world,
+)
+
+KINDS = ("layered", "series-parallel", "random")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("n", [2, 5, 20, 80])
+    def test_valid_dag_of_requested_size(self, kind, n):
+        cfg = LargeGraphConfig(kind=kind, n_functions=n, seed=7)
+        graph = generate_large_graph(cfg)  # validate() runs in from_edges
+        assert len(graph.functions) == n
+        assert len(set(graph.functions)) == n
+        assert all(fn.startswith("G") for fn in graph.functions)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_branch_count_capped(self, kind):
+        cfg = LargeGraphConfig(kind=kind, n_functions=120, branching=4, seed=3)
+        graph = generate_large_graph(cfg)
+        assert len(graph.branches()) <= cfg.max_branches
+
+    def test_tighter_cap_is_respected(self):
+        cfg = LargeGraphConfig(kind="random", n_functions=60, max_branches=4, seed=1)
+        assert len(generate_large_graph(cfg).branches()) <= 4
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_deterministic_under_seed(self, kind):
+        cfg = LargeGraphConfig(kind=kind, n_functions=40, seed=11)
+        a = generate_large_graph(cfg)
+        b = generate_large_graph(cfg)
+        assert a.functions == b.functions
+        assert a.edges == b.edges
+
+    def test_seeds_differ(self):
+        edges = {
+            generate_large_graph(
+                LargeGraphConfig(kind="random", n_functions=40, seed=s)
+            ).edges
+            for s in range(4)
+        }
+        assert len(edges) > 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            LargeGraphConfig(kind="bogus")
+        with pytest.raises(ValueError):
+            LargeGraphConfig(n_functions=1)
+        with pytest.raises(ValueError):
+            LargeGraphConfig(candidate_density=0)
+
+
+class TestWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return largegraph_world(
+            LargeGraphConfig(kind="layered", n_functions=30, candidate_density=3, seed=5),
+            n_peers=20,
+            n_ip=100,
+        )
+
+    def test_population_density(self, world):
+        assert len(world.population) == 30 * 3
+        per_fn = {}
+        for spec in world.population:
+            per_fn.setdefault(spec.function, set()).add(spec.peer)
+        # replicas of one function live on distinct peers
+        assert all(len(peers) == 3 for peers in per_fn.values())
+
+    def test_registry_serves_every_function(self, world):
+        for fn in world.graph.functions:
+            assert len(world.net.registry.duplicates(fn)) == 3
+
+    def test_request_bounds_scale_with_depth(self, world):
+        shallow = largegraph_request(
+            world.overlay, world.graph,
+            LargeGraphConfig(n_functions=30, qos_tightness=1.0, seed=5),
+        )
+        loose = largegraph_request(
+            world.overlay, world.graph,
+            LargeGraphConfig(n_functions=30, qos_tightness=2.0, seed=5),
+        )
+        assert loose.qos.bounds["delay"] > shallow.qos.bounds["delay"]
+        assert loose.qos.bounds["loss"] > shallow.qos.bounds["loss"]
+        assert shallow.qos.bounds["delay"] > 0
+
+    def test_request_uses_the_graph(self, world):
+        assert world.request.function_graph is world.graph
+        assert world.request.source_peer != world.request.dest_peer
+
+    def test_world_is_composable(self, world):
+        """The generated problem must actually have a qualified answer —
+        otherwise the benchmark compares failure modes, not search."""
+        strategy = world.net.use_composer("decompose")
+        result = strategy.compose(world.request, confirm=False)
+        world.net.use_composer(None)
+        assert result.success, result.failure_reason
